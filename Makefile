@@ -1,0 +1,31 @@
+# Convenience targets for the Bingo reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick experiments clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-quick:
+	REPRO_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt
+
+# Regenerate a single paper figure, e.g. `make fig8`
+table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10:
+	$(PYTHON) -m repro.cli experiment $@
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,22 @@
+"""Ablation: Bingo trained at the LLC (paper placement) vs at the L1D."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_training_level(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_training_level, rounds=1, iterations=1
+    )
+    text = ablations.format_training_level(rows)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    llc, l1 = rows
+    assert llc["trained_at"] == "llc"
+    # Both placements must function.  NOTE: the *direction* of the gap is
+    # scale-dependent: the paper's steady-state argument favours the LLC
+    # (longer residency, completer footprints), while at our shortened
+    # windows L1 training sees far more events per region and can win -
+    # EXPERIMENTS.md discusses this.  The bench therefore reports the gap
+    # rather than asserting its sign.
+    assert llc["coverage"] > 0.05
+    assert l1["coverage"] > 0.05

@@ -1,0 +1,14 @@
+"""Ablation: footprint region size (1 KB / 2 KB / 4 KB)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_region_size(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_region_size, rounds=1, iterations=1
+    )
+    text = ablations.format_region_size(rows)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    assert [row["region_bytes"] for row in rows] == [1024, 2048, 4096]
+    assert all(row["speedup"] > 0.8 for row in rows)

@@ -1,0 +1,17 @@
+"""Ablation: private per-core vs shared Bingo metadata (Section V)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_metadata_sharing(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_metadata_sharing, rounds=1, iterations=1
+    )
+    text = ablations.format_metadata_sharing(rows)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    private, shared = rows
+    assert private["metadata"] == "private"
+    # Both designs must be functional; the interesting output is the gap.
+    assert private["coverage"] > 0.1
+    assert shared["coverage"] > 0.1

@@ -1,0 +1,17 @@
+"""Ablation: unified history table vs naive cascaded dual tables."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_unified_vs_cascaded(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_unified_vs_cascaded, rounds=1, iterations=1
+    )
+    text = ablations.format_unified_vs_cascaded(rows)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    unified, cascaded = rows
+    # The storage claim: the unified table costs roughly half.
+    assert unified["storage_kib"] < cascaded["storage_kib"] * 0.6
+    # And gives comparable performance (within a few percent).
+    assert unified["speedup"] > cascaded["speedup"] * 0.9

@@ -1,0 +1,16 @@
+"""Ablation: the short-event multi-match policy (20% vote vs others)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_vote_threshold(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_vote_threshold, rounds=1, iterations=1
+    )
+    text = ablations.format_vote_threshold(rows)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    by = {row["policy"]: row for row in rows}
+    # Higher thresholds trade coverage for accuracy.
+    assert by["vote 80%"]["accuracy"] >= by["vote 5%"]["accuracy"] - 0.02
+    assert by["vote 5%"]["coverage"] >= by["vote 80%"]["coverage"] - 0.02

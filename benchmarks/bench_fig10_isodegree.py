@@ -1,0 +1,13 @@
+"""Fig. 10: iso-degree comparison (aggressive SHH variants vs Bingo)."""
+
+from repro.experiments import fig10_isodegree
+
+
+def test_fig10_isodegree(figure_runner):
+    rows = figure_runner(fig10_isodegree)
+    by = {row["variant"]: row for row in rows}
+    # Aggression raises overprediction for the SHH methods...
+    assert by["vldp-aggr"]["overprediction"] >= by["vldp-orig"]["overprediction"]
+    # ...and Bingo still outperforms every aggressive variant.
+    aggressive = ("bop-aggr", "spp-aggr", "vldp-aggr")
+    assert all(by["bingo"]["speedup"] >= by[v]["speedup"] for v in aggressive)

@@ -1,0 +1,18 @@
+"""Fig. 2: accuracy & match probability of single-event heuristics."""
+
+from repro.experiments import fig2_events
+
+
+def test_fig2_events(figure_runner):
+    rows = figure_runner(fig2_events)
+    by_event = {row["event"]: row for row in rows}
+    # The paper's trend: the longest event matches the least often and
+    # predicts at least as accurately as the shortest.
+    assert (
+        by_event["pc+address"]["match_probability"]
+        <= by_event["offset"]["match_probability"]
+    )
+    assert (
+        by_event["pc+address"]["accuracy"]
+        >= by_event["offset"]["accuracy"] - 0.05
+    )

@@ -1,0 +1,14 @@
+"""Fig. 3: coverage & accuracy vs number of events (1-5)."""
+
+from repro.experiments import fig3_num_events
+
+
+def test_fig3_num_events(figure_runner):
+    rows = figure_runner(fig3_num_events)
+    assert [row["num_events"] for row in rows] == [1, 2, 3, 4, 5]
+    # The paper's key observation: the big coverage jump is from one
+    # event to two; beyond two the curve flattens.
+    jump_1_to_2 = rows[1]["coverage"] - rows[0]["coverage"]
+    jump_2_to_5 = rows[4]["coverage"] - rows[1]["coverage"]
+    assert jump_1_to_2 > 0.1
+    assert jump_2_to_5 < jump_1_to_2

@@ -1,0 +1,13 @@
+"""Fig. 4: redundancy of cascaded long/short history tables."""
+
+from repro.experiments import fig4_redundancy
+
+
+def test_fig4_redundancy(figure_runner):
+    rows = figure_runner(fig4_redundancy)
+    average = next(r for r in rows if r["workload"] == "average")
+    # The paper reports 26%..93% per workload.  Our synthetic suite shows
+    # far less long-event recurrence at the simulated window lengths (see
+    # EXPERIMENTS.md), so this asserts only that measurable redundancy
+    # exists - the qualitative point the unified table exploits.
+    assert average["redundancy"] > 0.02

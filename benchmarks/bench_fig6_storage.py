@@ -1,0 +1,11 @@
+"""Fig. 6: Bingo miss coverage vs history-table entries (1K-64K)."""
+
+from repro.experiments import fig6_storage
+
+
+def test_fig6_storage(figure_runner):
+    rows = figure_runner(fig6_storage)
+    # Coverage must not collapse as the table grows, and the small table
+    # must not beat the paper's 16K configuration by any real margin.
+    for row in rows:
+        assert row["16K"] >= row["1K"] - 0.05

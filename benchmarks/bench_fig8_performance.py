@@ -1,0 +1,17 @@
+"""Fig. 8: speedup over the no-prefetcher baseline."""
+
+from repro.experiments import fig8_performance
+from repro.experiments.common import PAPER_PREFETCHERS, is_quick
+
+
+def test_fig8_performance(figure_runner):
+    rows = figure_runner(fig8_performance)
+    gmean = next(row for row in rows if row["workload"] == "gmean")
+    best = max(gmean[p] for p in PAPER_PREFETCHERS)
+    # Headline claim: Bingo improves substantially on the baseline...
+    assert gmean["bingo"] > 1.15
+    if is_quick():
+        assert gmean["bingo"] >= best - 0.05
+    else:
+        # ...and is the best-performing prefetcher overall.
+        assert gmean["bingo"] == best

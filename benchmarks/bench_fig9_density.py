@@ -1,0 +1,18 @@
+"""Fig. 9: performance density (throughput per unit area)."""
+
+from repro.experiments import fig9_density
+from repro.experiments.common import is_quick
+
+
+def test_fig9_density(figure_runner):
+    rows = figure_runner(fig9_density)
+    by_name = {row["prefetcher"]: row for row in rows}
+    # Bingo's metadata is small enough that density ~ speedup
+    # (Section VI-D: the drop is < 1%).
+    bingo = by_name["bingo"]
+    assert bingo["density_improvement"] > bingo["speedup"] * 0.98
+    best = max(r["density_improvement"] for r in rows)
+    if is_quick():
+        assert bingo["density_improvement"] >= best - 0.05
+    else:
+        assert bingo["density_improvement"] == best

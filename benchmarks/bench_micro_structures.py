@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the hot data structures.
+
+Not a paper figure: guards the simulator's own performance (the history
+table lookup and the LLC access path are the inner loops of every
+experiment).
+"""
+
+import random
+
+from repro.common.bitvec import Footprint
+from repro.common.config import CacheConfig
+from repro.core.history import BingoHistoryTable
+from repro.memsys.cache import BlockState, Cache
+
+
+def test_history_table_lookup_throughput(benchmark):
+    table = BingoHistoryTable()
+    rng = random.Random(0)
+    for i in range(4096):
+        footprint = Footprint.from_offsets(32, rng.sample(range(32), 8))
+        table.insert(pc=rng.randrange(64), block=i, offset=i % 32,
+                     footprint=footprint)
+    probes = [(rng.randrange(64), rng.randrange(8192), rng.randrange(32))
+              for _ in range(1000)]
+
+    def lookup_all():
+        hits = 0
+        for pc, block, offset in probes:
+            if table.lookup(pc, block, offset) is not None:
+                hits += 1
+        return hits
+
+    benchmark(lookup_all)
+
+
+def test_llc_access_throughput(benchmark):
+    cache = Cache(CacheConfig(size_bytes=1024 * 1024, ways=16))
+    rng = random.Random(0)
+    blocks = [rng.randrange(1 << 20) for _ in range(10_000)]
+
+    def churn():
+        for block in blocks:
+            if cache.lookup(block) is None:
+                cache.fill(block, BlockState())
+
+    benchmark(churn)

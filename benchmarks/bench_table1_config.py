@@ -1,0 +1,8 @@
+"""Table I: emit the simulated system configuration."""
+
+from repro.experiments import table1_config
+
+
+def test_table1_config(figure_runner):
+    rows = figure_runner(table1_config)
+    assert {row["parameter"] for row in rows} >= {"cores", "llc", "dram"}

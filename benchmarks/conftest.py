@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one paper table/figure through its driver in
+:mod:`repro.experiments` and prints the resulting table (run pytest with
+``-s`` to see them inline; they are also attached as ``extra_info``).
+
+Run length is controlled by the ``REPRO_QUICK`` environment variable
+(see :func:`repro.experiments.common.default_params`): quick mode keeps
+the full workload matrix but shortens each simulation ~4x.  Figures 7, 8
+and 9 share one (workload x prefetcher) run matrix via the in-process
+cache, so the suite pays for each simulation once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_figure(benchmark, module, **kwargs):
+    """Benchmark one experiment driver and report its formatted table."""
+    rows = benchmark.pedantic(
+        lambda: module.run(**kwargs), rounds=1, iterations=1
+    )
+    text = module.format_results(rows)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    return rows
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    def runner(module, **kwargs):
+        return run_figure(benchmark, module, **kwargs)
+
+    return runner

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Bring your own workload: build a custom trace and evaluate Bingo on it.
+
+Demonstrates the workload API end to end:
+
+1. compose a four-core workload from the primitive generators — here, a
+   "key-value store" whose values have two fixed layouts, mixed with a
+   background scan;
+2. run it through the simulator under the baseline and Bingo;
+3. inspect the prefetcher's internal counters (trigger matches by event).
+
+Run:  python examples/custom_workload.py
+"""
+
+import random
+from typing import Iterator
+
+from repro import run_simulation, speedup
+from repro.cpu.trace import TraceRecord
+from repro.experiments.common import experiment_system
+from repro.workloads import primitives as prim
+from repro.workloads.base import Workload, homogeneous
+
+MB = 1024 * 1024
+
+
+def kv_store_stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+    """A toy key-value store: fixed-layout value reads + a victim scan."""
+    lookups = prim.record_lookup(
+        rng,
+        pc_base=0x1000,
+        base=0x1000_0000,
+        num_records=1024,  # 2 MB of values per core
+        record_bytes=2048,  # one spatial region per value
+        layouts=[
+            (0, 64, 128, 512, 1024),  # small values: header + 4 chunks
+            (0, 64, 128, 896, 1408, 1920),  # large values
+        ],
+        hot_fraction=0.1,
+        hot_probability=0.5,
+        gap=40,
+    )
+    compaction = prim.sequential_stream(
+        rng, pc=0x2000, base=0x4000_0000, size_bytes=8 * MB, gap=30
+    )
+    return prim.mix(rng, [lookups, compaction], weights=[0.7, 0.3], chunk=24)
+
+
+def make_kv_workload() -> Workload:
+    return homogeneous(
+        "kv_store", kv_store_stream, description="toy key-value store"
+    )
+
+
+def main() -> None:
+    workload = make_kv_workload()
+    run = dict(
+        system=experiment_system(),
+        instructions_per_core=60_000,
+        warmup_instructions=20_000,
+    )
+    baseline = run_simulation(workload, prefetcher="none", **run)
+    bingo = run_simulation(workload, prefetcher="bingo", **run)
+
+    print(f"workload: {workload.name} ({workload.description})")
+    print(f"  baseline MPKI:  {baseline.mpki:.1f}")
+    print(f"  coverage:       {bingo.coverage:.1%}")
+    print(f"  accuracy:       {bingo.accuracy:.1%}")
+    print(f"  speedup:        {speedup(bingo, baseline):.2f}x")
+    print()
+    print("Bingo trigger outcomes (aggregated over cores):")
+    counters = bingo.prefetcher_counters
+    triggers = counters.get("triggers", 0)
+    for key in ("matched_pc_address", "matched_pc_offset", "lookup_misses"):
+        value = counters.get(key, 0)
+        share = value / triggers if triggers else 0.0
+        print(f"  {key:20s} {int(value):8d}  ({share:.1%} of triggers)")
+    print()
+    print("The long event (PC+Address) fires on hot-value revisits; the")
+    print("short event (PC+Offset) covers cold values it has never seen —")
+    print("exactly the split Section III of the paper describes.")
+
+
+if __name__ == "__main__":
+    main()

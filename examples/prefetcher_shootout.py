@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Prefetcher shootout: the Fig. 7/8 comparison on chosen workloads.
+
+Runs every evaluated prefetcher (BOP, SPP, VLDP, AMPM, SMS, Bingo) plus
+the no-prefetcher baseline on a set of workloads and prints a compact
+comparison table: speedup, coverage, accuracy, overprediction — the same
+axes as the paper's Figs. 7 and 8.
+
+Run:  python examples/prefetcher_shootout.py [workload ...]
+      (defaults to data_serving and em3d)
+"""
+
+import sys
+
+from repro import compare_prefetchers, speedup
+from repro.analysis.report import format_table
+from repro.experiments.common import (
+    EXPERIMENT_SCALE,
+    PAPER_PREFETCHERS,
+    experiment_system,
+)
+
+
+def shootout(workload: str) -> None:
+    results = compare_prefetchers(
+        workload,
+        list(PAPER_PREFETCHERS),
+        system=experiment_system(),
+        instructions_per_core=60_000,
+        warmup_instructions=20_000,
+        scale=EXPERIMENT_SCALE,
+    )
+    baseline = results["none"]
+    rows = []
+    for name in PAPER_PREFETCHERS:
+        result = results[name]
+        rows.append(
+            {
+                "prefetcher": name,
+                "speedup": round(speedup(result, baseline), 3),
+                "coverage": result.coverage,
+                "accuracy": result.accuracy,
+                "overprediction": result.overprediction,
+                "prefetches": result.prefetches_issued,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"== {workload} (baseline {baseline.mpki:.1f} MPKI) ==",
+            percent_columns=["coverage", "accuracy", "overprediction"],
+        )
+    )
+    print()
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or ["data_serving", "em3d"]
+    for workload in workloads:
+        shootout(workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload with and without Bingo.
+
+Simulates the em3d graph workload (the paper's most memory-intensive
+application) on the scaled experiment system, first with no prefetcher
+and then with Bingo, and prints the metrics the paper reports: miss
+coverage, prefetch accuracy, overprediction, and speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import run_simulation, speedup
+from repro.experiments.common import EXPERIMENT_SCALE, experiment_system
+
+RUN = dict(
+    system=experiment_system(),
+    instructions_per_core=60_000,
+    warmup_instructions=20_000,
+    scale=EXPERIMENT_SCALE,
+)
+
+
+def main() -> None:
+    print("Simulating em3d without a prefetcher...")
+    baseline = run_simulation("em3d", prefetcher="none", **RUN)
+    print(f"  baseline: {baseline.mpki:.1f} LLC MPKI, "
+          f"throughput {baseline.throughput:.2f} IPC")
+
+    print("Simulating em3d with Bingo...")
+    bingo = run_simulation("em3d", prefetcher="bingo", **RUN)
+    print(f"  bingo:    {bingo.mpki:.1f} LLC MPKI, "
+          f"throughput {bingo.throughput:.2f} IPC")
+
+    print()
+    print(f"  miss coverage:   {bingo.coverage:6.1%}")
+    print(f"  accuracy:        {bingo.accuracy:6.1%}")
+    print(f"  overprediction:  {bingo.overprediction:6.1%}")
+    print(f"  speedup:         {speedup(bingo, baseline):6.2f}x")
+    print()
+    print("Bingo's metadata: "
+          f"{bingo.prefetcher_storage_bits / 8 / 1024:.0f} KiB per core "
+          "(~119 KiB in the paper's 16K-entry configuration).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Design-space exploration: Bingo's history size and match policy.
+
+Reproduces the spirit of Section VI-A interactively: sweeps the history
+table across sizes for one workload (Fig. 6's axis), then compares the
+20 % voting heuristic with the most-recent-match policy on multi-match
+lookups (the alternative the paper evaluated and rejected).
+
+Run:  python examples/storage_sensitivity.py [workload]
+      (defaults to data_serving)
+"""
+
+import sys
+
+from repro import run_simulation, speedup
+from repro.analysis.report import format_table
+from repro.experiments.common import EXPERIMENT_SCALE, experiment_system
+from repro.sim.sweep import sweep_prefetcher_parameter
+
+RUN = dict(
+    system=experiment_system(),
+    instructions_per_core=60_000,
+    warmup_instructions=20_000,
+    scale=EXPERIMENT_SCALE,
+)
+
+
+def size_sweep(workload: str) -> None:
+    results = sweep_prefetcher_parameter(
+        workload,
+        prefetcher="bingo",
+        parameter="history_entries",
+        values=[1024, 4096, 16 * 1024, 64 * 1024],
+        **RUN,
+    )
+    rows = [
+        {
+            "history_entries": f"{entries // 1024}K",
+            "coverage": result.coverage,
+            "storage_kib": round(result.prefetcher_storage_bits / 8 / 1024, 1),
+        }
+        for entries, result in results.items()
+    ]
+    print(format_table(rows, title=f"history-size sweep on {workload} (Fig. 6)",
+                       percent_columns=["coverage"]))
+    print()
+
+
+def policy_comparison(workload: str) -> None:
+    baseline = run_simulation(workload, prefetcher="none", **RUN)
+    rows = []
+    for label, kwargs in (
+        ("vote 20% (paper)", {"vote_threshold": 0.20}),
+        ("vote 50%", {"vote_threshold": 0.50}),
+        ("most recent", {"short_match_policy": "most_recent"}),
+    ):
+        result = run_simulation(
+            workload, prefetcher="bingo", prefetcher_kwargs=kwargs, **RUN
+        )
+        rows.append(
+            {
+                "policy": label,
+                "speedup": round(speedup(result, baseline), 3),
+                "coverage": result.coverage,
+                "accuracy": result.accuracy,
+            }
+        )
+    print(format_table(rows, title=f"multi-match policy on {workload}",
+                       percent_columns=["coverage", "accuracy"]))
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "data_serving"
+    size_sweep(workload)
+    policy_comparison(workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+the legacy editable-install path (``pip install -e .``) on offline
+systems where PEP 660 builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

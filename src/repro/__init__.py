@@ -1,0 +1,52 @@
+"""repro — a reproduction of the Bingo Spatial Data Prefetcher (HPCA 2019).
+
+The package is a complete trace-driven multi-core memory-hierarchy
+simulator plus a zoo of spatial data prefetchers, built to regenerate
+every table and figure of the paper's evaluation.  Quick start::
+
+    from repro import run_simulation, speedup
+
+    baseline = run_simulation("em3d", prefetcher="none")
+    bingo = run_simulation("em3d", prefetcher="bingo")
+    print(f"coverage={bingo.coverage:.0%}  speedup={speedup(bingo, baseline):.2f}x")
+
+Public surface:
+
+* :func:`repro.sim.runner.run_simulation` / ``compare_prefetchers`` —
+  run workloads under prefetchers;
+* :mod:`repro.workloads` — Table II's workload suite by name;
+* :mod:`repro.prefetchers` — the baseline zoo (``make_prefetcher``);
+* :mod:`repro.core` — Bingo itself and its history structures;
+* :mod:`repro.experiments` — one driver per paper figure/table.
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    SystemConfig,
+)
+from repro.core.bingo import BingoPrefetcher
+from repro.prefetchers.registry import available_prefetchers, make_prefetcher
+from repro.sim.results import SimResult, speedup
+from repro.sim.runner import compare_prefetchers, run_simulation
+from repro.workloads.registry import available_workloads, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "DramConfig",
+    "SystemConfig",
+    "BingoPrefetcher",
+    "available_prefetchers",
+    "make_prefetcher",
+    "SimResult",
+    "speedup",
+    "compare_prefetchers",
+    "run_simulation",
+    "available_workloads",
+    "make_workload",
+    "__version__",
+]

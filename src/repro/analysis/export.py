@@ -1,0 +1,66 @@
+"""Export experiment rows to CSV/JSON.
+
+Every experiment driver returns a list of flat dicts; these helpers put
+them on disk so downstream tooling (spreadsheets, plotting scripts,
+regression dashboards) can consume regenerated figures without scraping
+the ASCII tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+PathLike = Union[str, Path]
+Rows = Sequence[Dict[str, object]]
+
+
+def _columns(rows: Rows) -> List[str]:
+    """Union of keys across rows, first-seen order."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def write_csv(path: PathLike, rows: Rows) -> Path:
+    """Write rows as CSV; missing cells are empty. Returns the path."""
+    path = Path(path)
+    if not rows:
+        raise ValueError("cannot export zero rows")
+    columns = _columns(rows)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(path: PathLike, rows: Rows, experiment: str = "") -> Path:
+    """Write rows as a JSON document with a small header envelope."""
+    path = Path(path)
+    if not rows:
+        raise ValueError("cannot export zero rows")
+    document = {
+        "experiment": experiment,
+        "columns": _columns(rows),
+        "rows": list(rows),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, default=str)
+        fh.write("\n")
+    return path
+
+
+def export_rows(path: PathLike, rows: Rows, experiment: str = "") -> Path:
+    """Export by extension: ``.csv`` or ``.json``."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        return write_csv(path, rows)
+    if path.suffix == ".json":
+        return write_json(path, rows, experiment)
+    raise ValueError(f"unsupported export extension: {path.suffix!r}")

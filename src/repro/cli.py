@@ -1,0 +1,168 @@
+"""The ``bingo-sim`` command-line interface.
+
+Subcommands:
+
+* ``list`` — available workloads and prefetchers.
+* ``run`` — one workload under one prefetcher; prints the summary.
+* ``compare`` — one workload under several prefetchers + baseline.
+* ``experiment`` — regenerate a paper table/figure by id (e.g. ``fig8``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.experiments.common import (
+    EXPERIMENT_SCALE,
+    PAPER_PREFETCHERS,
+    default_params,
+    experiment_system,
+)
+from repro.prefetchers.registry import available_prefetchers
+from repro.sim.results import speedup
+from repro.sim.runner import compare_prefetchers, run_simulation
+from repro.workloads.registry import available_workloads
+
+#: experiment id -> driver module (each has run()/format_results())
+EXPERIMENTS = {
+    "table1": "repro.experiments.table1_config",
+    "table2": "repro.experiments.table2_mpki",
+    "fig2": "repro.experiments.fig2_events",
+    "fig3": "repro.experiments.fig3_num_events",
+    "fig4": "repro.experiments.fig4_redundancy",
+    "fig6": "repro.experiments.fig6_storage",
+    "fig7": "repro.experiments.fig7_coverage",
+    "fig8": "repro.experiments.fig8_performance",
+    "fig9": "repro.experiments.fig9_density",
+    "fig10": "repro.experiments.fig10_isodegree",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bingo-sim",
+        description="Bingo spatial prefetcher reproduction (HPCA 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, prefetchers, experiments")
+
+    run_p = sub.add_parser("run", help="run one workload under one prefetcher")
+    run_p.add_argument("--workload", "-w", required=True)
+    run_p.add_argument("--prefetcher", "-p", default="bingo")
+    run_p.add_argument("--instructions", type=int, default=None,
+                       help="instructions per core (default: experiment params)")
+    run_p.add_argument("--warmup", type=int, default=None)
+    run_p.add_argument("--seed", type=int, default=1234)
+    run_p.add_argument("--baseline", action="store_true",
+                       help="also run the no-prefetcher baseline for speedup")
+
+    cmp_p = sub.add_parser("compare", help="compare prefetchers on a workload")
+    cmp_p.add_argument("--workload", "-w", required=True)
+    cmp_p.add_argument("--prefetchers", "-p", nargs="+",
+                       default=list(PAPER_PREFETCHERS))
+    cmp_p.add_argument("--instructions", type=int, default=None)
+    cmp_p.add_argument("--warmup", type=int, default=None)
+    cmp_p.add_argument("--seed", type=int, default=1234)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp_p.add_argument("id", choices=sorted(EXPERIMENTS))
+    exp_p.add_argument("--export", metavar="PATH", default=None,
+                       help="also write the rows to PATH (.csv or .json)")
+    return parser
+
+
+def _params(args) -> tuple:
+    params = default_params()
+    instructions = args.instructions or params.instructions_per_core
+    warmup = args.warmup if args.warmup is not None else params.warmup_instructions
+    return instructions, warmup
+
+
+def _cmd_list() -> int:
+    print("workloads:   ", " ".join(available_workloads()))
+    print("prefetchers: ", " ".join(available_prefetchers()))
+    print("experiments: ", " ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    instructions, warmup = _params(args)
+    kwargs = dict(
+        system=experiment_system(),
+        instructions_per_core=instructions,
+        warmup_instructions=warmup,
+        seed=args.seed,
+        scale=EXPERIMENT_SCALE,
+    )
+    result = run_simulation(args.workload, prefetcher=args.prefetcher, **kwargs)
+    rows = [dict(metric=k, value=round(v, 4)) for k, v in result.summary().items()]
+    if args.baseline and args.prefetcher != "none":
+        baseline = run_simulation(args.workload, prefetcher="none", **kwargs)
+        rows.append(dict(metric="speedup", value=round(speedup(result, baseline), 4)))
+    print(format_table(rows, title=f"{args.workload} / {args.prefetcher}"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    instructions, warmup = _params(args)
+    results = compare_prefetchers(
+        args.workload,
+        args.prefetchers,
+        system=experiment_system(),
+        instructions_per_core=instructions,
+        warmup_instructions=warmup,
+        seed=args.seed,
+        scale=EXPERIMENT_SCALE,
+    )
+    baseline = results["none"]
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            {
+                "prefetcher": name,
+                "speedup": round(speedup(result, baseline), 3),
+                "coverage": result.coverage,
+                "accuracy": result.accuracy,
+                "overprediction": result.overprediction,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"prefetcher comparison on {args.workload}",
+            percent_columns=["coverage", "accuracy", "overprediction"],
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(experiment_id: str, export: Optional[str] = None) -> int:
+    module = importlib.import_module(EXPERIMENTS[experiment_id])
+    rows = module.run()
+    print(module.format_results(rows))
+    if export:
+        from repro.analysis.export import export_rows
+
+        path = export_rows(export, rows, experiment=experiment_id)
+        print(f"\nrows exported to {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_experiment(args.id, args.export)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

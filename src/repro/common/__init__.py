@@ -1,0 +1,40 @@
+"""Shared low-level building blocks for the Bingo reproduction.
+
+This subpackage deliberately has no dependency on the rest of ``repro``:
+address arithmetic, footprint bit-vectors, generic set-associative tables,
+replacement policies, hash mixing, configuration dataclasses, and statistics
+counters.  Everything above (caches, prefetchers, the simulator) is built
+from these primitives.
+"""
+
+from repro.common.addresses import AddressMap
+from repro.common.bitvec import Footprint
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    SystemConfig,
+)
+from repro.common.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.common.stats import StatGroup
+from repro.common.table import SetAssociativeTable
+
+__all__ = [
+    "AddressMap",
+    "Footprint",
+    "CacheConfig",
+    "CoreConfig",
+    "DramConfig",
+    "SystemConfig",
+    "FifoPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "StatGroup",
+    "SetAssociativeTable",
+]

@@ -1,0 +1,125 @@
+"""Address arithmetic shared by the whole simulator.
+
+All addresses in the simulator are plain integers (byte addresses).  The
+:class:`AddressMap` captures the three granularities the paper cares about:
+
+* the *cache block* (64 B throughout the paper),
+* the *spatial region* a footprint covers (the paper's "page", 2 KB by
+  default — explicitly *not* an OS page), and
+* the *OS page* used for virtual-to-physical translation (4 KB).
+
+Keeping the arithmetic in one object means a prefetcher configured for,
+say, 4 KB regions and the cache it sits next to can never disagree about
+what an "offset" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _log2_exact(value: int, name: str) -> int:
+    """Return log2 of ``value``, requiring an exact power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Byte-address decomposition for a fixed block/region/page geometry.
+
+    Parameters
+    ----------
+    block_size:
+        Cache block size in bytes (paper: 64).
+    region_size:
+        Spatial-region size in bytes over which footprints are collected
+        (paper: a few KB; we default to 2048 as in the public Bingo code).
+    page_size:
+        OS page size in bytes used by address translation (paper: 4096).
+    """
+
+    block_size: int = 64
+    region_size: int = 2048
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        _log2_exact(self.block_size, "block_size")
+        _log2_exact(self.region_size, "region_size")
+        _log2_exact(self.page_size, "page_size")
+        if self.region_size < self.block_size:
+            raise ValueError("region_size must be >= block_size")
+        if self.page_size < self.block_size:
+            raise ValueError("page_size must be >= block_size")
+
+    # -- derived geometry -------------------------------------------------
+    @property
+    def block_bits(self) -> int:
+        return _log2_exact(self.block_size, "block_size")
+
+    @property
+    def region_bits(self) -> int:
+        return _log2_exact(self.region_size, "region_size")
+
+    @property
+    def page_bits(self) -> int:
+        return _log2_exact(self.page_size, "page_size")
+
+    @property
+    def blocks_per_region(self) -> int:
+        """Number of cache blocks in a region — the footprint width."""
+        return self.region_size // self.block_size
+
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_size // self.block_size
+
+    # -- block-level decomposition ----------------------------------------
+    def block_number(self, address: int) -> int:
+        """Cache-block number (address with the block offset stripped)."""
+        return address >> self.block_bits
+
+    def block_address(self, address: int) -> int:
+        """Byte address of the first byte of the containing block."""
+        return (address >> self.block_bits) << self.block_bits
+
+    # -- region-level decomposition ----------------------------------------
+    def region_number(self, address: int) -> int:
+        """Region number (the paper's page id for footprint purposes)."""
+        return address >> self.region_bits
+
+    def region_base(self, address: int) -> int:
+        """Byte address of the first byte of the containing region."""
+        return (address >> self.region_bits) << self.region_bits
+
+    def region_offset(self, address: int) -> int:
+        """Block index of ``address`` within its region (the paper's Offset)."""
+        return (address >> self.block_bits) & (self.blocks_per_region - 1)
+
+    def region_of_block(self, block: int) -> int:
+        """Region number of a *block number* (not a byte address)."""
+        return block >> (self.region_bits - self.block_bits)
+
+    def offset_of_block(self, block: int) -> int:
+        """Offset within its region of a *block number*."""
+        return block & (self.blocks_per_region - 1)
+
+    def block_of(self, region_number: int, offset: int) -> int:
+        """Block number of block ``offset`` inside region ``region_number``."""
+        if not 0 <= offset < self.blocks_per_region:
+            raise ValueError(
+                f"offset {offset} outside region of {self.blocks_per_region} blocks"
+            )
+        return (region_number << (self.region_bits - self.block_bits)) + offset
+
+    def address_of(self, region_number: int, offset: int) -> int:
+        """Byte address of block ``offset`` inside region ``region_number``."""
+        return self.block_of(region_number, offset) << self.block_bits
+
+    # -- page-level decomposition -------------------------------------------
+    def page_number(self, address: int) -> int:
+        return address >> self.page_bits
+
+    def page_offset(self, address: int) -> int:
+        return address & (self.page_size - 1)

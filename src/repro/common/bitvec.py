@@ -1,0 +1,168 @@
+"""Footprint bit-vectors.
+
+A *footprint* is the paper's per-region access record: one bit per cache
+block of the region, ``1`` meaning the block was touched during the region's
+residency.  We store it as a plain int bit-mask, which keeps copies cheap
+(footprints are copied into the history table constantly) while still
+offering a typed, documented API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class Footprint:
+    """Fixed-width bit-vector recording which blocks of a region were used.
+
+    Instances are lightweight wrappers over an int mask; all operations are
+    O(width) or better.  Equality and hashing are by (width, bits) value,
+    so footprints can be used as dict keys when deduplicating metadata.
+    """
+
+    __slots__ = ("width", "bits")
+
+    def __init__(self, width: int, bits: int = 0) -> None:
+        if width <= 0:
+            raise ValueError(f"footprint width must be positive, got {width}")
+        if bits < 0 or bits >> width:
+            raise ValueError(f"bits 0x{bits:x} do not fit in {width} bits")
+        self.width = width
+        self.bits = bits
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_offsets(cls, width: int, offsets: Iterable[int]) -> "Footprint":
+        """Build a footprint with the given block offsets set."""
+        fp = cls(width)
+        for offset in offsets:
+            fp.set(offset)
+        return fp
+
+    def copy(self) -> "Footprint":
+        return Footprint(self.width, self.bits)
+
+    # -- bit access ----------------------------------------------------------
+    def set(self, offset: int) -> None:
+        self._check(offset)
+        self.bits |= 1 << offset
+
+    def clear(self, offset: int) -> None:
+        self._check(offset)
+        self.bits &= ~(1 << offset)
+
+    def test(self, offset: int) -> bool:
+        self._check(offset)
+        return bool(self.bits >> offset & 1)
+
+    def _check(self, offset: int) -> None:
+        if not 0 <= offset < self.width:
+            raise IndexError(f"offset {offset} out of range [0, {self.width})")
+
+    # -- queries -------------------------------------------------------------
+    def offsets(self) -> List[int]:
+        """Offsets of all set bits, ascending."""
+        return [i for i in range(self.width) if self.bits >> i & 1]
+
+    def popcount(self) -> int:
+        """Number of blocks marked used."""
+        return bin(self.bits).count("1")
+
+    def density(self) -> float:
+        """Fraction of the region's blocks that were used."""
+        return self.popcount() / self.width
+
+    def is_empty(self) -> bool:
+        return self.bits == 0
+
+    # -- set algebra ----------------------------------------------------------
+    def _coerce(self, other: "Footprint") -> int:
+        if not isinstance(other, Footprint):
+            raise TypeError(f"expected Footprint, got {type(other).__name__}")
+        if other.width != self.width:
+            raise ValueError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+        return other.bits
+
+    def union(self, other: "Footprint") -> "Footprint":
+        return Footprint(self.width, self.bits | self._coerce(other))
+
+    def intersection(self, other: "Footprint") -> "Footprint":
+        return Footprint(self.width, self.bits & self._coerce(other))
+
+    def difference(self, other: "Footprint") -> "Footprint":
+        return Footprint(self.width, self.bits & ~self._coerce(other) & self._mask())
+
+    def overlap(self, other: "Footprint") -> int:
+        """Number of blocks set in both footprints."""
+        return bin(self.bits & self._coerce(other)).count("1")
+
+    def _mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def shifted(self, delta: int) -> "Footprint":
+        """Footprint translated by ``delta`` blocks, clipped to the region.
+
+        Used to re-anchor a recorded pattern when the predicting event does
+        not pin the trigger offset (the bare ``PC`` event of Section III):
+        the pattern observed around trigger offset *a* is replayed around
+        trigger offset *b* by shifting ``b − a``; blocks shifted past either
+        region boundary are dropped.
+        """
+        if delta >= 0:
+            bits = (self.bits << delta) & self._mask()
+        else:
+            bits = self.bits >> -delta
+        return Footprint(self.width, bits)
+
+    # -- dunder plumbing -------------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.offsets())
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Footprint)
+            and other.width == self.width
+            and other.bits == self.bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.bits))
+
+    def __repr__(self) -> str:
+        pattern = "".join("1" if self.bits >> i & 1 else "0" for i in range(self.width))
+        return f"Footprint({pattern})"
+
+
+def vote(footprints: List[Footprint], threshold: float) -> Footprint:
+    """Combine footprints by per-block voting (the paper's 20 % heuristic).
+
+    A block is set in the result iff it is present in at least
+    ``threshold`` (a fraction in (0, 1]) of the input footprints.  This is
+    the policy Bingo applies when a short-event lookup matches several
+    history entries with dissimilar footprints.
+    """
+    if not footprints:
+        raise ValueError("vote() requires at least one footprint")
+    if not 0 < threshold <= 1:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    width = footprints[0].width
+    needed = max(1, int(-(-threshold * len(footprints) // 1)))  # ceil
+    counts = [0] * width
+    for fp in footprints:
+        if fp.width != width:
+            raise ValueError("all footprints must share a width")
+        bits = fp.bits
+        while bits:
+            low = bits & -bits
+            counts[low.bit_length() - 1] += 1
+            bits ^= low
+    result = Footprint(width)
+    for offset, count in enumerate(counts):
+        if count >= needed:
+            result.set(offset)
+    return result

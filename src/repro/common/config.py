@@ -1,0 +1,124 @@
+"""Configuration dataclasses mirroring Table I of the paper.
+
+The defaults reproduce the evaluated system: a 14 nm, 4 GHz chip with four
+4-wide OoO cores (256-entry ROB), split 64 KB L1 caches, an 8 MB 16-way
+shared LLC with 15-cycle hit latency, and two DRAM channels providing
+37.5 GB/s at 60 ns zero-load latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.addresses import AddressMap
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    ways: int
+    block_size: int = 64
+    hit_latency: int = 4
+    mshr_entries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.block_size):
+            raise ValueError(
+                "cache size must be a whole number of sets: "
+                f"{self.size_bytes} B / ({self.ways} ways * {self.block_size} B)"
+            )
+        sets = self.sets
+        if sets & (sets - 1):
+            raise ValueError(f"number of sets must be a power of two, got {sets}")
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.block_size)
+
+    @property
+    def blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Off-chip memory model parameters.
+
+    ``zero_load_ns`` is the unloaded access latency (Table I: 60 ns); the
+    row-buffer hit saves the activation portion.  ``peak_bandwidth_gbps``
+    is the aggregate across channels (Table I: 37.5 GB/s over 2 channels).
+    """
+
+    channels: int = 2
+    banks_per_channel: int = 8
+    row_size_bytes: int = 4096
+    zero_load_ns: float = 60.0
+    row_hit_ns: float = 35.0
+    peak_bandwidth_gbps: float = 37.5
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.banks_per_channel <= 0:
+            raise ValueError("channels and banks_per_channel must be positive")
+        if self.row_hit_ns > self.zero_load_ns:
+            raise ValueError("row-buffer hit latency cannot exceed zero-load latency")
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Timing model of one OoO core (Table I: 4-wide, 256-entry ROB)."""
+
+    width: int = 4
+    rob_entries: int = 256
+    lsq_entries: int = 64
+    frequency_ghz: float = 4.0
+
+    def cycles(self, nanoseconds: float) -> int:
+        """Convert a latency in ns to core cycles (rounded up)."""
+        return int(-(-nanoseconds * self.frequency_ghz // 1))
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The full simulated system: cores + hierarchy + DRAM + translation."""
+
+    num_cores: int = 4
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=64 * 1024, ways=8, hit_latency=4, mshr_entries=8
+        )
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=8 * 1024 * 1024, ways=16, hit_latency=15, mshr_entries=64
+        )
+    )
+    dram: DramConfig = field(default_factory=DramConfig)
+    address_map: AddressMap = field(default_factory=AddressMap)
+    translation_seed: int = 42
+    physical_pages: int = 1 << 20  # 4 GB of 4 KB frames
+    #: charge DRAM channel occupancy for dirty-block writebacks.  Off by
+    #: default: the paper's evaluation is read-dominated and the
+    #: experiment calibration was done without writeback traffic; turn on
+    #: for studies where store bandwidth matters.
+    model_writebacks: bool = False
+
+    def scaled(self, **overrides) -> "SystemConfig":
+        """A copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **overrides)
+
+
+def small_system(num_cores: int = 1) -> SystemConfig:
+    """A reduced system for fast unit tests: tiny caches, one core.
+
+    Keeps the same *ratios* as the paper's system so behavioural tests
+    (e.g. "prefetching reduces misses") still hold, while letting tests
+    exercise capacity effects with short traces.
+    """
+    return SystemConfig(
+        num_cores=num_cores,
+        l1d=CacheConfig(size_bytes=4 * 1024, ways=4, hit_latency=4, mshr_entries=8),
+        llc=CacheConfig(size_bytes=64 * 1024, ways=8, hit_latency=15, mshr_entries=32),
+    )

@@ -1,0 +1,41 @@
+"""Deterministic integer hashing for table indexing.
+
+Hardware tables index with simple XOR-folding of address/PC bits.  Python's
+built-in ``hash`` of an int is the int itself, which produces badly skewed
+set distributions for strided addresses, so all table indexing in the
+simulator goes through the mixers below.  They are deterministic across
+runs and processes (no ``PYTHONHASHSEED`` dependence), which keeps every
+experiment reproducible.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """SplitMix64 finalizer: a strong, cheap 64-bit mixer."""
+    value &= _MASK64
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK64
+    return value ^ (value >> 31)
+
+
+def combine(*values: int) -> int:
+    """Hash-combine several ints into one 64-bit value, order-sensitive."""
+    acc = 0x9E3779B97F4A7C15
+    for value in values:
+        acc = mix64(acc ^ mix64(value))
+    return acc
+
+
+def fold(value: int, bits: int) -> int:
+    """XOR-fold a hashed value down to ``bits`` bits (table index width)."""
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    value = mix64(value)
+    result = 0
+    while value:
+        result ^= value & ((1 << bits) - 1)
+        value >>= bits
+    return result

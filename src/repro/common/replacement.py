@@ -1,0 +1,138 @@
+"""Replacement policies for set-associative structures.
+
+Every policy manages *one set* worth of recency state and is instantiated
+per-set by :class:`repro.common.table.SetAssociativeTable` and by the cache
+model.  Policies see opaque ``way`` indices; they never touch the payload.
+
+The paper's structures (LLC, Bingo history table, SMS table, ...) all use
+LRU, but Random and FIFO are provided for the ablation benches and for the
+property tests, which verify policy-independent table invariants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+class ReplacementPolicy:
+    """Per-set replacement state over ``ways`` ways.
+
+    Subclasses track which ways are valid and pick victims.  The contract:
+
+    * ``touch(way)`` — the way was accessed (hit or fill completes).
+    * ``insert(way)`` — a new entry was filled into the way.
+    * ``invalidate(way)`` — the way no longer holds a valid entry.
+    * ``victim()`` — way to evict next; prefers invalid ways.
+    """
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        self.ways = ways
+        self._valid = [False] * ways
+
+    # -- required overrides -------------------------------------------------
+    def touch(self, way: int) -> None:
+        raise NotImplementedError
+
+    def _pick_victim(self) -> int:
+        raise NotImplementedError
+
+    # -- shared behaviour -----------------------------------------------------
+    def insert(self, way: int) -> None:
+        self._check(way)
+        self._valid[way] = True
+        self.touch(way)
+
+    def invalidate(self, way: int) -> None:
+        self._check(way)
+        self._valid[way] = False
+
+    def victim(self) -> int:
+        for way, valid in enumerate(self._valid):
+            if not valid:
+                return way
+        return self._pick_victim()
+
+    def is_valid(self, way: int) -> bool:
+        self._check(way)
+        return self._valid[way]
+
+    def _check(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise IndexError(f"way {way} out of range [0, {self.ways})")
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used. Exposes recency order for Bingo's tie-breaks."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        # _stack[0] is MRU, _stack[-1] is LRU.
+        self._stack: List[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        self._check(way)
+        self._stack.remove(way)
+        self._stack.insert(0, way)
+
+    def _pick_victim(self) -> int:
+        return self._stack[-1]
+
+    def recency_rank(self, way: int) -> int:
+        """0 for the MRU way, ways-1 for the LRU way."""
+        self._check(way)
+        return self._stack.index(way)
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: eviction order is insertion order."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._order: List[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        self._check(way)
+
+    def insert(self, way: int) -> None:
+        self._check(way)
+        self._valid[way] = True
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def _pick_victim(self) -> int:
+        return self._order[-1]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim among valid ways (seeded for reproducibility)."""
+
+    def __init__(self, ways: int, seed: int = 0) -> None:
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, way: int) -> None:
+        self._check(way)
+
+    def _pick_victim(self) -> int:
+        return self._rng.randrange(self.ways)
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, ways: int) -> ReplacementPolicy:
+    """Construct a replacement policy by name (``lru``/``fifo``/``random``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(ways)

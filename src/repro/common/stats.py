@@ -1,0 +1,79 @@
+"""Hierarchical statistics counters.
+
+Every simulator component owns a :class:`StatGroup`; groups nest, so a full
+run produces one tree that the reporting code flattens into the rows the
+paper's figures need (misses, coverage, overpredictions, cycles, ...).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple, Union
+
+Number = Union[int, float]
+
+
+class StatGroup:
+    """A named bag of counters with nested sub-groups.
+
+    Counters auto-create at zero on first increment, so components never
+    need registration boilerplate, yet ``as_dict`` gives a stable, fully
+    enumerable snapshot for reports and tests.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: "OrderedDict[str, Number]" = OrderedDict()
+        self._children: "OrderedDict[str, StatGroup]" = OrderedDict()
+
+    # -- counters ---------------------------------------------------------
+    def add(self, counter: str, amount: Number = 1) -> None:
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def set(self, counter: str, value: Number) -> None:
+        self._counters[counter] = value
+
+    def get(self, counter: str) -> Number:
+        return self._counters.get(counter, 0)
+
+    def __getitem__(self, counter: str) -> Number:
+        return self.get(counter)
+
+    # -- ratios -------------------------------------------------------------
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe counter ratio; 0.0 when the denominator is zero."""
+        denom = self.get(denominator)
+        return self.get(numerator) / denom if denom else 0.0
+
+    # -- children ------------------------------------------------------------
+    def child(self, name: str) -> "StatGroup":
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    # -- introspection -----------------------------------------------------------
+    def counters(self) -> Dict[str, Number]:
+        return dict(self._counters)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot of this group and all descendants."""
+        out: Dict[str, object] = dict(self._counters)
+        for name, group in self._children.items():
+            out[name] = group.as_dict()
+        return out
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, Number]]:
+        """Yield ``(dotted.path, value)`` for every counter in the tree."""
+        base = f"{prefix}{self.name}."
+        for counter, value in self._counters.items():
+            yield base + counter, value
+        for group in self._children.values():
+            yield from group.walk(base)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        for group in self._children.values():
+            group.reset()
+
+    def __repr__(self) -> str:
+        return f"StatGroup({self.name!r}, {len(self._counters)} counters)"

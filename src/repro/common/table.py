@@ -1,0 +1,187 @@
+"""A generic set-associative table.
+
+Nearly every structure in the paper — the LLC, Bingo's filter, accumulation
+and history tables, SMS's history table, SPP's signature table, AMPM's
+access-map table — is a set-associative array of ``(tag, payload)`` entries
+with some replacement policy.  :class:`SetAssociativeTable` implements that
+once, with eviction callbacks so owners can commit state (e.g. Bingo moves
+an accumulation-table entry into the history table when it is evicted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+from repro.common.hashing import fold
+from repro.common.replacement import LruPolicy, ReplacementPolicy, make_policy
+
+P = TypeVar("P")
+
+
+@dataclass
+class Entry(Generic[P]):
+    """One valid table entry: a full tag plus an owner-defined payload."""
+
+    tag: int
+    payload: P
+
+
+class SetAssociativeTable(Generic[P]):
+    """Set-associative ``tag -> payload`` storage with pluggable replacement.
+
+    Keys are arbitrary ints; the set index is a fold of the key unless the
+    caller supplies an explicit index (Bingo indexes by a *different* event
+    than it tags with, which is the whole storage trick of the paper — see
+    :class:`repro.core.history.BingoHistoryTable`).
+
+    Parameters
+    ----------
+    sets, ways:
+        Geometry; ``sets`` must be a power of two.
+    policy:
+        Replacement policy name (``lru``/``fifo``/``random``).
+    on_evict:
+        Optional callback ``(tag, payload) -> None`` invoked whenever a
+        valid entry is displaced or explicitly invalidated.
+    """
+
+    def __init__(
+        self,
+        sets: int,
+        ways: int,
+        policy: str = "lru",
+        on_evict: Optional[Callable[[int, P], None]] = None,
+    ) -> None:
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(f"sets must be a positive power of two, got {sets}")
+        self.sets = sets
+        self.ways = ways
+        self.index_bits = sets.bit_length() - 1
+        self.on_evict = on_evict
+        self._entries: List[List[Optional[Entry[P]]]] = [
+            [None] * ways for _ in range(sets)
+        ]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(policy, ways) for _ in range(sets)
+        ]
+
+    # -- geometry -------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(
+            1 for ways in self._entries for entry in ways if entry is not None
+        )
+
+    @property
+    def capacity(self) -> int:
+        return self.sets * self.ways
+
+    def set_index(self, key: int) -> int:
+        """Default set index: hash-fold of the key."""
+        return fold(key, self.index_bits) if self.index_bits else 0
+
+    # -- lookups ---------------------------------------------------------------
+    def lookup(
+        self, key: int, index: Optional[int] = None, touch: bool = True
+    ) -> Optional[P]:
+        """Return the payload tagged exactly ``key``, or None.
+
+        ``index`` overrides the set index (for split index/tag schemes);
+        ``touch`` controls whether the hit updates recency.
+        """
+        set_idx = self.set_index(key) if index is None else index
+        ways = self._entries[set_idx]
+        for way, entry in enumerate(ways):
+            if entry is not None and entry.tag == key:
+                if touch:
+                    self._policies[set_idx].touch(way)
+                return entry.payload
+        return None
+
+    def scan_set(self, index: int) -> List[Tuple[int, int, P]]:
+        """All valid entries of a set as ``(way, tag, payload)`` tuples.
+
+        Order is physical way order; combine with :meth:`recency_rank` to
+        sort by recency (Bingo's most-recent-match heuristic).
+        """
+        return [
+            (way, entry.tag, entry.payload)
+            for way, entry in enumerate(self._entries[index])
+            if entry is not None
+        ]
+
+    def recency_rank(self, index: int, way: int) -> int:
+        """Recency of a way within its set (0 = MRU). LRU policy only."""
+        policy = self._policies[index]
+        if not isinstance(policy, LruPolicy):
+            raise TypeError("recency_rank requires the LRU policy")
+        return policy.recency_rank(way)
+
+    # -- updates ----------------------------------------------------------------
+    def insert(self, key: int, payload: P, index: Optional[int] = None) -> None:
+        """Insert or overwrite the entry tagged ``key``.
+
+        If the key is already present its payload is replaced in place and
+        recency updated; otherwise a victim is chosen by the policy (an
+        invalid way if any) and the displaced entry, if valid, is reported
+        through ``on_evict``.
+        """
+        set_idx = self.set_index(key) if index is None else index
+        ways = self._entries[set_idx]
+        policy = self._policies[set_idx]
+        for way, entry in enumerate(ways):
+            if entry is not None and entry.tag == key:
+                entry.payload = payload
+                policy.touch(way)
+                return
+        way = policy.victim()
+        old = ways[way]
+        if old is not None and self.on_evict is not None:
+            self.on_evict(old.tag, old.payload)
+        ways[way] = Entry(key, payload)
+        policy.insert(way)
+
+    def invalidate(self, key: int, index: Optional[int] = None) -> Optional[P]:
+        """Remove the entry tagged ``key``; returns its payload if present.
+
+        The eviction callback fires for explicit invalidations too, since
+        owners use it to commit in-flight state.
+        """
+        set_idx = self.set_index(key) if index is None else index
+        ways = self._entries[set_idx]
+        for way, entry in enumerate(ways):
+            if entry is not None and entry.tag == key:
+                ways[way] = None
+                self._policies[set_idx].invalidate(way)
+                if self.on_evict is not None:
+                    self.on_evict(entry.tag, entry.payload)
+                return entry.payload
+        return None
+
+    def pop(self, key: int, index: Optional[int] = None) -> Optional[P]:
+        """Remove the entry tagged ``key`` *without* firing ``on_evict``."""
+        set_idx = self.set_index(key) if index is None else index
+        ways = self._entries[set_idx]
+        for way, entry in enumerate(ways):
+            if entry is not None and entry.tag == key:
+                ways[way] = None
+                self._policies[set_idx].invalidate(way)
+                return entry.payload
+        return None
+
+    def items(self) -> List[Tuple[int, P]]:
+        """All valid ``(tag, payload)`` pairs, set-major order."""
+        return [
+            (entry.tag, entry.payload)
+            for ways in self._entries
+            for entry in ways
+            if entry is not None
+        ]
+
+    def clear(self) -> None:
+        """Drop all entries without firing eviction callbacks."""
+        for set_idx in range(self.sets):
+            for way in range(self.ways):
+                if self._entries[set_idx][way] is not None:
+                    self._entries[set_idx][way] = None
+                    self._policies[set_idx].invalidate(way)

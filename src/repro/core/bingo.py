@@ -1,0 +1,202 @@
+"""The Bingo spatial data prefetcher (Section IV).
+
+Putting the pieces together:
+
+1. A *trigger access* (first access to an untracked region) allocates a
+   filter-table entry and consults the unified history table — first with
+   ``PC+Address``, then with ``PC+Offset`` in the same set.  A match
+   prefetches every block of the predicted footprint (minus the trigger).
+2. Subsequent accesses to the region accumulate its footprint.
+3. When a block of the region leaves the LLC (end of residency) — or the
+   accumulation table recycles the entry — the footprint is committed to
+   the history table under its trigger's events.
+
+Configuration defaults follow Section V/VI-A: 2 KB regions (32 blocks of
+64 B), a 16 K-entry 16-way history table (~119 KB), and the 20 % voting
+threshold for multi-match short-event lookups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.addresses import AddressMap
+from repro.common.bitvec import Footprint
+from repro.core.history import BingoHistoryTable
+from repro.core.regions import AccumulationTable, FilterTable, RegionRecord
+from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
+
+
+class BingoPrefetcher(Prefetcher):
+    """Dual-event PPH spatial prefetcher with a unified history table."""
+
+    name = "bingo"
+
+    #: modelled bits per filter/accumulation entry beyond the footprint:
+    #: region tag + trigger PC + trigger offset + valid/recency.
+    _AUX_ENTRY_OVERHEAD_BITS = 48
+
+    #: feedback-throttle tuning (active only with ``throttle=True``)
+    _THROTTLE_WINDOW = 256  # judged prefetches per accuracy estimate
+    _THROTTLE_LOW = 0.40  # below this, switch to the conservative vote
+    _CONSERVATIVE_VOTE = 0.60
+
+    def __init__(
+        self,
+        address_map: Optional[AddressMap] = None,
+        history_entries: int = 16 * 1024,
+        history_ways: int = 16,
+        vote_threshold: float = 0.20,
+        short_match_policy: str = "vote",
+        filter_sets: int = 8,
+        filter_ways: int = 8,
+        accumulation_sets: int = 4,
+        accumulation_ways: int = 8,
+        throttle: bool = False,
+    ) -> None:
+        """``throttle=True`` enables accuracy feedback (an extension).
+
+        The paper motivates Bingo with the bandwidth wall — "prefetchers
+        should be highly accurate" (Section I) — but ships no dynamic
+        throttle.  This optional FDP-style mechanism watches the measured
+        accuracy of recently-judged prefetches (used vs evicted-unused)
+        and, while it sits below 40 %, raises the short-event vote to a
+        conservative 60 %; long-event matches are never throttled.
+        """
+        super().__init__(address_map)
+        self.blocks_per_region = self.address_map.blocks_per_region
+        self.history = BingoHistoryTable(
+            entries=history_entries,
+            ways=history_ways,
+            blocks_per_region=self.blocks_per_region,
+            vote_threshold=vote_threshold,
+            short_match_policy=short_match_policy,
+        )
+        self.filter_table = FilterTable(sets=filter_sets, ways=filter_ways)
+        self.accumulation_table = AccumulationTable(
+            on_commit=self._commit_region,
+            sets=accumulation_sets,
+            ways=accumulation_ways,
+        )
+        self._region_shift = self.blocks_per_region.bit_length() - 1
+        self.throttle = throttle
+        self.base_vote_threshold = vote_threshold
+        self._inflight_prefetches: set = set()
+        self._judged_used = 0
+        self._judged_total = 0
+
+    # -- training plumbing --------------------------------------------------
+    def _commit_region(self, region: int, record: RegionRecord) -> None:
+        """End of residency: move the footprint into the history table."""
+        self.history.insert(
+            record.trigger_pc,
+            record.trigger_block,
+            record.trigger_offset,
+            record.footprint,
+        )
+        self.stats.add("commits")
+
+    # -- the access path -----------------------------------------------------
+    def on_access(self, info: AccessInfo) -> List[PrefetchRequest]:
+        amap = self.address_map
+        region = amap.region_of_block(info.block)
+        offset = amap.offset_of_block(info.block)
+
+        # Region already accumulating: just record the access.
+        if self.accumulation_table.record_access(region, offset):
+            return []
+
+        # Region in the filter table: second access graduates it.
+        record = self.filter_table.lookup(region)
+        if record is not None:
+            if record.trigger_offset == offset:
+                return []  # re-touching the trigger block: still one block
+            self.filter_table.remove(region)
+            record.footprint.set(offset)
+            self.accumulation_table.insert(region, record)
+            return []
+
+        # Trigger access: start tracking and consult the history.
+        footprint = Footprint(self.blocks_per_region)
+        footprint.set(offset)
+        self.filter_table.insert(
+            region,
+            RegionRecord(
+                trigger_pc=info.pc,
+                trigger_offset=offset,
+                trigger_block=info.block,
+                footprint=footprint,
+            ),
+        )
+        self.stats.add("triggers")
+        return self._predict(info.pc, info.block, region, offset)
+
+    def _predict(
+        self, pc: int, block: int, region: int, offset: int
+    ) -> List[PrefetchRequest]:
+        match = self.history.lookup(pc, block, offset)
+        if match is None:
+            self.stats.add("lookup_misses")
+            return []
+        self.stats.add("lookup_hits")
+        self.stats.add(f"matched_{match.matched.name.lower()}")
+        region_base_block = region << self._region_shift
+        return [
+            PrefetchRequest(block=region_base_block + o)
+            for o in match.footprint.offsets()
+            if o != offset
+        ]
+
+    # -- feedback throttle (optional extension) --------------------------------
+    def on_prefetch_fill(self, block: int, time: float) -> None:
+        if self.throttle:
+            self._inflight_prefetches.add(block)
+
+    def _judge(self, block: int, was_used: bool) -> None:
+        """Record the outcome of one of our own prefetches."""
+        if block not in self._inflight_prefetches:
+            return
+        self._inflight_prefetches.discard(block)
+        self._judged_total += 1
+        if was_used:
+            self._judged_used += 1
+        if self._judged_total >= self._THROTTLE_WINDOW:
+            accuracy = self._judged_used / self._judged_total
+            if accuracy < self._THROTTLE_LOW:
+                self.history.vote_threshold = self._CONSERVATIVE_VOTE
+                self.stats.add("throttle_engaged")
+            else:
+                self.history.vote_threshold = self.base_vote_threshold
+            self._judged_total = 0
+            self._judged_used = 0
+
+    # -- residency tracking ---------------------------------------------------
+    def on_eviction(self, block: int, was_used: bool) -> None:
+        """A block left the LLC: close its region's residency if tracked."""
+        if self.throttle:
+            self._judge(block, was_used)
+        region = self.address_map.region_of_block(block)
+        if self.accumulation_table.lookup(region) is not None:
+            self.accumulation_table.evict(region)  # commits via callback
+        else:
+            self.filter_table.remove(region)
+
+    def reset(self) -> None:
+        """Drop all learned state: history, filter, accumulation, feedback."""
+        super().reset()
+        self.history.clear()
+        self.filter_table.clear()
+        self.accumulation_table.clear()
+        self.history.vote_threshold = self.base_vote_threshold
+        self._inflight_prefetches.clear()
+        self._judged_used = 0
+        self._judged_total = 0
+
+    # -- reporting ----------------------------------------------------------------
+    @property
+    def storage_bits(self) -> int:
+        aux_entries = self.filter_table.capacity + self.accumulation_table.capacity
+        aux_bits = aux_entries * (
+            self.blocks_per_region + self._AUX_ENTRY_OVERHEAD_BITS
+        )
+        return self.history.storage_bits + aux_bits

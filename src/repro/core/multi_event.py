@@ -1,0 +1,173 @@
+"""A generalised N-event spatial prefetcher (the motivation study).
+
+Figures 2 and 3 of the paper study the design space before committing to
+Bingo's two events:
+
+* **Fig. 2** — for each *single* event heuristic, the prediction accuracy
+  and *match probability* (fraction of trigger lookups that find the
+  event in the history);
+* **Fig. 3** — a TAGE-like prefetcher whose cascaded tables hold the *N*
+  longest events, N swept from 1 (``PC+Address`` only) to 5 (all events).
+
+:class:`MultiEventSpatialPrefetcher` implements both: give it any subset
+of :data:`repro.core.events.LONGEST_TO_SHORTEST` and it trains/predicts
+with naive cascaded tables (Fig. 1-(b)), recording per-event match
+statistics.  With ``kinds=LONGEST_TO_SHORTEST[:2]`` it is functionally a
+dual-table Bingo — the unified-table :class:`repro.core.bingo.
+BingoPrefetcher` must produce the same predictions, which the test suite
+checks directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.addresses import AddressMap
+from repro.common.bitvec import Footprint
+from repro.core.events import EventKind, LONGEST_TO_SHORTEST
+from repro.core.multi_history import CascadedHistoryTables
+from repro.core.regions import AccumulationTable, FilterTable, RegionRecord
+from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
+
+
+class MultiEventSpatialPrefetcher(Prefetcher):
+    """PPH spatial prefetcher over an arbitrary event cascade."""
+
+    name = "multi-event"
+
+    def __init__(
+        self,
+        address_map: Optional[AddressMap] = None,
+        kinds: Sequence[EventKind] = LONGEST_TO_SHORTEST,
+        entries_per_table: int = 16 * 1024,
+        ways: int = 16,
+        filter_sets: int = 8,
+        filter_ways: int = 8,
+        accumulation_sets: int = 4,
+        accumulation_ways: int = 8,
+        measure_redundancy: bool = False,
+    ) -> None:
+        super().__init__(address_map)
+        self.kinds = tuple(kinds)
+        self.blocks_per_region = self.address_map.blocks_per_region
+        self.tables = CascadedHistoryTables(
+            kinds=self.kinds,
+            entries=entries_per_table,
+            ways=ways,
+            blocks_per_region=self.blocks_per_region,
+        )
+        self.filter_table = FilterTable(sets=filter_sets, ways=filter_ways)
+        self.accumulation_table = AccumulationTable(
+            on_commit=self._commit_region,
+            sets=accumulation_sets,
+            ways=accumulation_ways,
+        )
+        self.measure_redundancy = measure_redundancy
+        self._region_shift = self.blocks_per_region.bit_length() - 1
+
+    def _commit_region(self, region: int, record: RegionRecord) -> None:
+        self.tables.insert(
+            record.trigger_pc,
+            record.trigger_block,
+            record.trigger_offset,
+            record.footprint,
+        )
+        self.stats.add("commits")
+
+    # -- the access path ------------------------------------------------------
+    def on_access(self, info: AccessInfo) -> List[PrefetchRequest]:
+        amap = self.address_map
+        region = amap.region_of_block(info.block)
+        offset = amap.offset_of_block(info.block)
+
+        if self.accumulation_table.record_access(region, offset):
+            return []
+
+        record = self.filter_table.lookup(region)
+        if record is not None:
+            if record.trigger_offset == offset:
+                return []
+            self.filter_table.remove(region)
+            record.footprint.set(offset)
+            self.accumulation_table.insert(region, record)
+            return []
+
+        footprint = Footprint(self.blocks_per_region)
+        footprint.set(offset)
+        self.filter_table.insert(
+            region,
+            RegionRecord(
+                trigger_pc=info.pc,
+                trigger_offset=offset,
+                trigger_block=info.block,
+                footprint=footprint,
+            ),
+        )
+        self.stats.add("triggers")
+        return self._predict(info.pc, info.block, region, offset)
+
+    def _predict(
+        self, pc: int, block: int, region: int, offset: int
+    ) -> List[PrefetchRequest]:
+        if self.measure_redundancy:
+            self._record_redundancy(pc, block, offset)
+        match = self.tables.lookup(pc, block, offset)
+        if match is None:
+            self.stats.add("lookup_misses")
+            return []
+        self.stats.add("lookup_hits")
+        self.stats.add(f"matched_{match.matched.name.lower()}")
+        region_base_block = region << self._region_shift
+        return [
+            PrefetchRequest(block=region_base_block + o)
+            for o in match.footprint.offsets()
+            if o != offset
+        ]
+
+    def _record_redundancy(self, pc: int, block: int, offset: int) -> None:
+        """Fig. 4 instrumentation: do long & short tables agree?
+
+        A lookup is *redundant* when the longest and shortest tables both
+        predict and predict the same footprint — metadata the unified
+        design stores once.
+        """
+        if len(self.kinds) < 2:
+            return
+        predictions = self.tables.lookup_all(pc, block, offset)
+        longest = predictions[self.kinds[0]]
+        shortest = predictions[self.kinds[-1]]
+        if longest is None and shortest is None:
+            return
+        self.stats.add("redundancy_lookups")
+        if (
+            longest is not None
+            and shortest is not None
+            and longest.footprint == shortest.footprint
+        ):
+            self.stats.add("redundant_lookups")
+
+    # -- residency tracking --------------------------------------------------------
+    def on_eviction(self, block: int, was_used: bool) -> None:
+        region = self.address_map.region_of_block(block)
+        if self.accumulation_table.lookup(region) is not None:
+            self.accumulation_table.evict(region)
+        else:
+            self.filter_table.remove(region)
+
+    def reset(self) -> None:
+        """Drop all learned state: cascaded tables, filter, accumulation."""
+        super().reset()
+        self.tables.clear()
+        self.filter_table.clear()
+        self.accumulation_table.clear()
+
+    # -- reporting ---------------------------------------------------------------------
+    def match_probability(self) -> float:
+        """Fraction of trigger lookups that found any event (Fig. 2)."""
+        return self.stats.ratio("lookup_hits", "triggers")
+
+    @property
+    def storage_bits(self) -> int:
+        aux_entries = self.filter_table.capacity + self.accumulation_table.capacity
+        aux_bits = aux_entries * (self.blocks_per_region + 48)
+        return self.tables.storage_bits + aux_bits

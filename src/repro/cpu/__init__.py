@@ -1,0 +1,24 @@
+"""Core timing model and trace plumbing.
+
+:mod:`repro.cpu.core` is the ROB-window approximation of the paper's OoO
+cores; :mod:`repro.cpu.trace` defines the instruction record; and
+:mod:`repro.cpu.tracefile` captures/replays traces on disk.
+"""
+
+from repro.cpu.core import CoreTimingModel
+from repro.cpu.trace import TraceRecord
+from repro.cpu.tracefile import (
+    capture_workload,
+    read_trace,
+    workload_from_traces,
+    write_trace,
+)
+
+__all__ = [
+    "CoreTimingModel",
+    "TraceRecord",
+    "capture_workload",
+    "read_trace",
+    "workload_from_traces",
+    "write_trace",
+]

@@ -1,0 +1,44 @@
+"""Trace records: the unit of work the simulator consumes.
+
+A workload generator yields :class:`TraceRecord` objects.  Each record is
+one *retired instruction*; memory instructions carry a virtual address.
+``depends_on_prev_load`` marks true data dependences on the previous load
+(pointer chasing), which the timing model serialises — this is what makes
+temporally-correlated workloads like Zeus gain little from spatial
+prefetching even when their accesses are predictable (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One instruction of a workload trace."""
+
+    pc: int
+    address: int = 0  # virtual byte address; meaningful iff is_mem
+    is_mem: bool = False
+    is_write: bool = False
+    depends_on_prev_load: bool = False
+
+    @classmethod
+    def compute(cls, pc: int) -> "TraceRecord":
+        """A non-memory instruction."""
+        return cls(pc=pc)
+
+    @classmethod
+    def load(
+        cls, pc: int, address: int, depends_on_prev_load: bool = False
+    ) -> "TraceRecord":
+        return cls(
+            pc=pc,
+            address=address,
+            is_mem=True,
+            depends_on_prev_load=depends_on_prev_load,
+        )
+
+    @classmethod
+    def store(cls, pc: int, address: int) -> "TraceRecord":
+        return cls(pc=pc, address=address, is_mem=True, is_write=True)

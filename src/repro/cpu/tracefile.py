@@ -1,0 +1,150 @@
+"""Trace capture and replay.
+
+Workloads are normally generated on the fly, but a downstream user often
+wants to (a) snapshot a generator's output for exact cross-tool
+comparison, or (b) feed the simulator a trace captured elsewhere (e.g.
+converted from a ChampSim trace).  This module defines a small text
+format and the plumbing to use trace files as workloads.
+
+Format: one record per line, ``gzip``-compressed when the path ends in
+``.gz``.  Lines are one of::
+
+    C <pc>                 # compute instruction
+    L <pc> <vaddr> [d]     # load; 'd' marks depends-on-previous-load
+    S <pc> <vaddr>         # store
+
+with ``pc``/``vaddr`` in hex.  Blank lines and ``#`` comments are
+ignored.  The format is deliberately trivial — greppable, diffable, and
+writable from any language.
+"""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Union
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.base import Workload
+
+PathLike = Union[str, Path]
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def format_record(record: TraceRecord) -> str:
+    """One record as one line of the trace format."""
+    if not record.is_mem:
+        return f"C {record.pc:x}"
+    if record.is_write:
+        return f"S {record.pc:x} {record.address:x}"
+    suffix = " d" if record.depends_on_prev_load else ""
+    return f"L {record.pc:x} {record.address:x}{suffix}"
+
+
+def parse_record(line: str) -> TraceRecord:
+    """Parse one line; raises ValueError with the offending text."""
+    fields = line.split()
+    try:
+        kind = fields[0]
+        if kind == "C" and len(fields) == 2:
+            return TraceRecord.compute(pc=int(fields[1], 16))
+        if kind == "L" and len(fields) in (3, 4):
+            dependent = len(fields) == 4
+            if dependent and fields[3] != "d":
+                raise ValueError
+            return TraceRecord.load(
+                pc=int(fields[1], 16),
+                address=int(fields[2], 16),
+                depends_on_prev_load=dependent,
+            )
+        if kind == "S" and len(fields) == 3:
+            return TraceRecord.store(pc=int(fields[1], 16),
+                                     address=int(fields[2], 16))
+    except (IndexError, ValueError):
+        pass
+    raise ValueError(f"malformed trace line: {line!r}")
+
+
+def write_trace(
+    path: PathLike, records: Iterable[TraceRecord], limit: int = None
+) -> int:
+    """Write records to a trace file; returns the number written.
+
+    ``limit`` bounds how many records are consumed — mandatory in spirit
+    when ``records`` is one of the package's infinite generators.
+    """
+    path = Path(path)
+    count = 0
+    with _open(path, "w") as fh:
+        for record in itertools.islice(records, limit):
+            fh.write(format_record(record) + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream records from a trace file (lazily, line by line)."""
+    path = Path(path)
+    with _open(path, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield parse_record(line)
+
+
+def capture_workload(
+    workload: Workload, directory: PathLike, records_per_core: int,
+    compress: bool = True,
+) -> Dict[int, Path]:
+    """Snapshot every core's stream of a workload to trace files.
+
+    Returns ``{core_id: path}``; replay with :func:`workload_from_traces`.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = ".trace.gz" if compress else ".trace"
+    paths: Dict[int, Path] = {}
+    for core_id in range(workload.num_cores):
+        path = directory / f"{workload.name}.core{core_id}{suffix}"
+        write_trace(path, workload.core_stream(core_id), records_per_core)
+        paths[core_id] = path
+    return paths
+
+
+def workload_from_traces(
+    name: str, paths: Dict[int, PathLike], loop: bool = True
+) -> Workload:
+    """Build a workload that replays trace files, one per core.
+
+    With ``loop=True`` (default) a finished trace restarts from the top,
+    so finite captures satisfy the engine's per-core instruction budgets.
+    """
+    if not paths:
+        raise ValueError("need at least one core trace")
+
+    def make_factory(path: Path):
+        def factory(rng, core_id) -> Iterator[TraceRecord]:
+            while True:
+                empty = True
+                for record in read_trace(path):
+                    empty = False
+                    yield record
+                if empty:
+                    raise ValueError(f"trace file {path} contains no records")
+                if not loop:
+                    return
+
+        return factory
+
+    return Workload(
+        name=name,
+        streams={core: make_factory(Path(path)) for core, path in paths.items()},
+        description=f"replayed from {len(paths)} trace file(s)",
+    )

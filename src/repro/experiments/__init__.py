@@ -1,0 +1,16 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver exposes a ``run(...)`` function returning plain data
+structures (lists of row dicts) plus a ``format_table(rows)`` helper that
+prints the same rows/series the paper reports.  The benches under
+``benchmarks/`` call these drivers; EXPERIMENTS.md records the outputs
+against the paper's numbers.
+"""
+
+from repro.experiments.common import (
+    EXPERIMENT_SCALE,
+    default_params,
+    experiment_system,
+)
+
+__all__ = ["EXPERIMENT_SCALE", "default_params", "experiment_system"]

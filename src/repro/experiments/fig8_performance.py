@@ -1,0 +1,57 @@
+"""Figure 8: system performance, normalised to no prefetcher.
+
+Speedup of each prefetcher over the no-prefetcher baseline, per workload
+plus the geometric mean.  The paper's headline: Bingo improves
+performance by 60 % on average (up to 285 % on em3d) and beats the best
+prior spatial prefetcher by 11 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import format_table
+from repro.experiments.common import PAPER_PREFETCHERS, default_params, run_matrix
+from repro.sim.engine import SimulationParams
+from repro.sim.results import speedup
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    prefetchers: Sequence[str] = PAPER_PREFETCHERS,
+    params: Optional[SimulationParams] = None,
+) -> List[Dict[str, object]]:
+    """One row per workload (+ GMean); one speedup column per prefetcher."""
+    workloads = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    params = params if params is not None else default_params()
+    matrix = run_matrix(workloads, list(prefetchers), params)
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        baseline = matrix[workload]["none"]
+        row: Dict[str, object] = {"workload": workload}
+        for prefetcher in prefetchers:
+            row[prefetcher] = speedup(matrix[workload][prefetcher], baseline)
+        rows.append(row)
+    gmean_row: Dict[str, object] = {"workload": "gmean"}
+    for prefetcher in prefetchers:
+        gmean_row[prefetcher] = geometric_mean(
+            [row[prefetcher] for row in rows]
+        )
+    rows.append(gmean_row)
+    return rows
+
+
+def format_results(
+    rows: List[Dict[str, object]], prefetchers: Sequence[str] = PAPER_PREFETCHERS
+) -> str:
+    return format_table(
+        rows,
+        columns=["workload"] + list(prefetchers),
+        title="Fig. 8 — speedup over no-prefetcher baseline",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -1,0 +1,73 @@
+"""Figure 9: performance-density improvement.
+
+Performance density = throughput / chip area.  Each prefetcher's
+geometric-mean speedup (Fig. 8) is discounted by the area its metadata
+adds (:class:`repro.analysis.area.AreaModel`).  The paper's point: Bingo
+keeps nearly all of its performance win (59 % density improvement vs
+60 % performance) because its 119 KB of metadata is a sliver of the chip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.area import AreaModel
+from repro.analysis.metrics import gmean_speedup
+from repro.analysis.report import format_table
+from repro.common.config import SystemConfig
+from repro.experiments.common import (
+    PAPER_PREFETCHERS,
+    default_params,
+    run_matrix,
+)
+from repro.sim.engine import SimulationParams
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    prefetchers: Sequence[str] = PAPER_PREFETCHERS,
+    params: Optional[SimulationParams] = None,
+    area_model: Optional[AreaModel] = None,
+) -> List[Dict[str, object]]:
+    """One row per prefetcher: speedup, metadata size, density improvement.
+
+    The area model is evaluated against the *paper's* full-size system
+    (Table I) — metadata sizes don't scale with our experiment hierarchy,
+    so charging them against the scaled chip would overstate the tax.
+    """
+    workloads = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    params = params if params is not None else default_params()
+    area_model = area_model if area_model is not None else AreaModel()
+    paper_system = SystemConfig()
+    matrix = run_matrix(workloads, list(prefetchers), params)
+    rows: List[Dict[str, object]] = []
+    for prefetcher in prefetchers:
+        perf = gmean_speedup(matrix, prefetcher)
+        storage_bits = next(
+            runs[prefetcher].prefetcher_storage_bits for runs in matrix.values()
+        )
+        density = area_model.density_improvement(
+            perf, paper_system, storage_bits
+        )
+        rows.append(
+            {
+                "prefetcher": prefetcher,
+                "speedup": perf,
+                "storage_kib": storage_bits / 8 / 1024,
+                "density_improvement": density,
+            }
+        )
+    return rows
+
+
+def format_results(rows: List[Dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        columns=["prefetcher", "speedup", "storage_kib", "density_improvement"],
+        title="Fig. 9 — performance density (throughput per unit area)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -1,0 +1,59 @@
+"""Table I: evaluation parameters.
+
+Emits the simulated system's parameters — both the paper-sized default
+(:class:`repro.common.config.SystemConfig`) and the scaled experiment
+system actually used for the figures — so a bench run documents exactly
+what was simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.common.config import SystemConfig
+from repro.experiments.common import EXPERIMENT_SCALE, experiment_system
+
+
+def _describe(config: SystemConfig) -> Dict[str, str]:
+    core = config.core
+    return {
+        "cores": f"{config.num_cores} x {core.width}-wide OoO, "
+        f"{core.rob_entries}-entry ROB, {core.frequency_ghz:g} GHz",
+        "l1d": f"{config.l1d.size_bytes // 1024} KB, {config.l1d.ways}-way, "
+        f"{config.l1d.hit_latency}-cycle hit, {config.l1d.mshr_entries} MSHRs",
+        "llc": f"{config.llc.size_bytes // 1024} KB, {config.llc.ways}-way, "
+        f"{config.llc.hit_latency}-cycle hit (shared)",
+        "dram": f"{config.dram.channels} channels, "
+        f"{config.dram.zero_load_ns:g} ns zero-load, "
+        f"{config.dram.peak_bandwidth_gbps:g} GB/s peak",
+        "pages": f"{config.address_map.page_size} B OS pages, "
+        f"random first-touch translation",
+        "regions": f"{config.address_map.region_size} B spatial regions "
+        f"({config.address_map.blocks_per_region} blocks)",
+    }
+
+
+def run() -> List[Dict[str, object]]:
+    """One row per parameter: paper-sized vs experiment system."""
+    paper = _describe(SystemConfig())
+    scaled = _describe(experiment_system())
+    return [
+        {"parameter": key, "paper_system": paper[key], "experiment_system": scaled[key]}
+        for key in paper
+    ]
+
+
+def format_results(rows: List[Dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        columns=["parameter", "paper_system", "experiment_system"],
+        title=(
+            "Table I — evaluation parameters "
+            f"(experiments run at scale {EXPERIMENT_SCALE:g})"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -1,0 +1,50 @@
+"""Table II: workload characterisation — baseline LLC MPKI.
+
+Runs every workload with no prefetcher and reports the measured LLC
+MPKI next to the paper's column.  This is the calibration record for the
+synthetic workload substitution (DESIGN.md §2): absolute agreement is
+not expected, the *ordering and rough magnitudes* are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.experiments.common import cached_run, default_params
+from repro.sim.engine import SimulationParams
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    params: Optional[SimulationParams] = None,
+) -> List[Dict[str, object]]:
+    """One row per workload: description, paper MPKI, measured MPKI."""
+    workloads = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    params = params if params is not None else default_params()
+    rows: List[Dict[str, object]] = []
+    for name in workloads:
+        workload = make_workload(name)
+        result = cached_run(name, "none", params)
+        rows.append(
+            {
+                "workload": name,
+                "description": workload.description,
+                "paper_mpki": workload.paper_mpki,
+                "measured_mpki": round(result.mpki, 1),
+            }
+        )
+    return rows
+
+
+def format_results(rows: List[Dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        columns=["workload", "paper_mpki", "measured_mpki", "description"],
+        title="Table II — workloads and baseline LLC MPKI (paper vs measured)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

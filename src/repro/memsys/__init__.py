@@ -1,0 +1,23 @@
+"""The memory-system substrate: caches, DRAM, translation, hierarchy.
+
+This is the stand-in for the paper's ChampSim infrastructure: a fast,
+functional-with-timing model of a multi-core hierarchy (private L1Ds over a
+shared LLC over banked, bandwidth-limited DRAM).  Prefetchers attach at the
+LLC exactly as in Section V of the paper.
+"""
+
+from repro.memsys.cache import BlockState, Cache
+from repro.memsys.dram import DramModel
+from repro.memsys.hierarchy import AccessResult, MemoryHierarchy
+from repro.memsys.mshr import MshrFile
+from repro.memsys.translation import RandomFirstTouchTranslator
+
+__all__ = [
+    "BlockState",
+    "Cache",
+    "DramModel",
+    "AccessResult",
+    "MemoryHierarchy",
+    "MshrFile",
+    "RandomFirstTouchTranslator",
+]

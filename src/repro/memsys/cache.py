@@ -1,0 +1,139 @@
+"""A fast set-associative cache with prefetch-aware block metadata.
+
+This is the performance-critical inner loop of the simulator, so the
+implementation is bespoke rather than reusing the generic
+:class:`repro.common.table.SetAssociativeTable`: each set is an
+``OrderedDict`` keyed by block number, giving O(1) hit, fill, and true-LRU
+eviction via ``move_to_end``/``popitem``.
+
+Block metadata carries what the evaluation needs:
+
+* ``prefetched`` / ``used`` — to classify demand hits on prefetched blocks
+  (covered misses) and unused evicted prefetches (overpredictions);
+* ``ready_time`` — fill-completion cycle, so a demand access arriving
+  before an in-flight prefetch completes pays the *remaining* latency
+  (a "late prefetch").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.common.config import CacheConfig
+from repro.common.stats import StatGroup
+
+
+class BlockState:
+    """Metadata of one resident cache block."""
+
+    __slots__ = ("prefetched", "used", "ready_time", "core_id", "dirty")
+
+    def __init__(
+        self,
+        prefetched: bool = False,
+        ready_time: float = 0.0,
+        core_id: int = 0,
+    ) -> None:
+        self.prefetched = prefetched
+        self.used = False
+        self.ready_time = ready_time
+        self.core_id = core_id
+        self.dirty = False
+
+    def __repr__(self) -> str:
+        kind = "prefetched" if self.prefetched else "demand"
+        return f"BlockState({kind}, used={self.used}, ready={self.ready_time})"
+
+
+EvictionCallback = Callable[[int, BlockState], None]
+
+
+class Cache:
+    """Set-associative, true-LRU cache over block numbers.
+
+    The cache is indexed by *block number* (byte address >> 6); the caller
+    does the shifting once via :class:`repro.common.addresses.AddressMap`.
+    An optional ``on_evict(block, state)`` callback lets the hierarchy
+    notify prefetchers of end-of-residency events (Bingo and SMS train on
+    them) and count overpredictions.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        name: str = "cache",
+        on_evict: Optional[EvictionCallback] = None,
+        stats: Optional[StatGroup] = None,
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.on_evict = on_evict
+        self.stats = stats if stats is not None else StatGroup(name)
+        self.num_sets = config.sets
+        self.ways = config.ways
+        self._set_mask = self.num_sets - 1
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+
+    # -- indexing ---------------------------------------------------------
+    def set_index(self, block: int) -> int:
+        return block & self._set_mask
+
+    # -- lookups -----------------------------------------------------------
+    def lookup(self, block: int, touch: bool = True) -> Optional[BlockState]:
+        """Return the block's state on a hit (updating LRU), else None."""
+        entries = self._sets[block & self._set_mask]
+        state = entries.get(block)
+        if state is not None and touch:
+            entries.move_to_end(block)
+        return state
+
+    def contains(self, block: int) -> bool:
+        return block in self._sets[block & self._set_mask]
+
+    # -- fills / evictions -----------------------------------------------------
+    def fill(
+        self, block: int, state: BlockState
+    ) -> Optional[Tuple[int, BlockState]]:
+        """Insert ``block``; returns the evicted ``(block, state)`` if any.
+
+        Filling a block that is already resident replaces its state (this
+        happens when a demand miss races an in-flight prefetch; the caller
+        is expected to check first, but the behaviour is well defined).
+        """
+        entries = self._sets[block & self._set_mask]
+        if block in entries:
+            entries[block] = state
+            entries.move_to_end(block)
+            return None
+        victim = None
+        if len(entries) >= self.ways:
+            victim_block, victim_state = entries.popitem(last=False)
+            victim = (victim_block, victim_state)
+            self.stats.add("evictions")
+            if self.on_evict is not None:
+                self.on_evict(victim_block, victim_state)
+        entries[block] = state
+        self.stats.add("fills")
+        return victim
+
+    def invalidate(self, block: int) -> Optional[BlockState]:
+        """Remove ``block`` if resident; fires the eviction callback."""
+        entries = self._sets[block & self._set_mask]
+        state = entries.pop(block, None)
+        if state is not None:
+            self.stats.add("invalidations")
+            if self.on_evict is not None:
+                self.on_evict(block, state)
+        return state
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def occupancy(self) -> float:
+        return len(self) / (self.num_sets * self.ways)
+
+    def resident_blocks(self) -> Iterator[int]:
+        for entries in self._sets:
+            yield from entries.keys()

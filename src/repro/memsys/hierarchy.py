@@ -1,0 +1,311 @@
+"""The full memory hierarchy: per-core L1Ds, a shared LLC, DRAM.
+
+This module wires the substrate together exactly as Section V describes:
+
+* each core has a private L1D (64 KB, 8-way, 8 MSHRs);
+* all cores share one LLC (8 MB, 16-way, 15-cycle hit);
+* prefetchers are *per core*, observe **LLC demand accesses** (hits and
+  misses), and prefetch **into the LLC** — no prefetch buffers, no
+  metadata sharing between cores;
+* every LLC eviction is broadcast to the prefetchers so per-page-history
+  schemes can close region residencies.
+
+The model is latency-based rather than cycle-by-cycle: each access returns
+its end-to-end latency, in-flight prefetches are materialised in the LLC
+with a ``ready_time``, and DRAM channel occupancy provides bandwidth
+back-pressure.  DESIGN.md §6 documents the fidelity trade-offs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.config import SystemConfig
+from repro.common.stats import StatGroup
+from repro.memsys.cache import BlockState, Cache
+from repro.memsys.dram import DramModel
+from repro.memsys.mshr import MshrFile
+from repro.memsys.translation import RandomFirstTouchTranslator
+from repro.prefetchers.base import AccessInfo, Prefetcher
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access through the hierarchy."""
+
+    latency: float
+    l1_hit: bool = False
+    llc_hit: bool = False
+    llc_miss: bool = False
+    covered: bool = False  # hit on a not-yet-used prefetched block
+    late: bool = False  # ...whose fill had not completed yet
+    prefetches_issued: int = 0
+
+
+class MemoryHierarchy:
+    """Private L1Ds over a shared, prefetched LLC over banked DRAM."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        prefetchers: Optional[Sequence[Prefetcher]] = None,
+        stats: Optional[StatGroup] = None,
+        train_at: str = "llc",
+    ) -> None:
+        """``train_at`` selects where prefetchers observe traffic.
+
+        ``"llc"`` (the paper's choice, Section V) trains on LLC demand
+        accesses with LLC evictions ending region residencies; ``"l1"``
+        trains on *every* L1D access with L1 evictions ending residencies
+        — SMS's original placement.  Prefetches always fill the LLC.  The
+        paper argues pages linger far longer at the multi-megabyte LLC,
+        giving footprints time to complete; the placement ablation bench
+        quantifies exactly that.
+        """
+        if train_at not in ("llc", "l1"):
+            raise ValueError(f"train_at must be 'llc' or 'l1', got {train_at!r}")
+        self.config = config
+        self.train_at = train_at
+        self.stats = stats if stats is not None else StatGroup("memsys")
+        amap = config.address_map
+        self.address_map = amap
+
+        if prefetchers is None:
+            prefetchers = []
+        if len(prefetchers) not in (0, config.num_cores):
+            raise ValueError(
+                f"need 0 or {config.num_cores} prefetchers, got {len(prefetchers)}"
+            )
+        self.prefetchers: List[Prefetcher] = list(prefetchers)
+        for pf in self.prefetchers:
+            pf.stats = self.stats.child("prefetcher").child(pf.name)
+
+        self.translator = RandomFirstTouchTranslator(
+            amap, config.physical_pages, config.translation_seed
+        )
+        l1_on_evict = self._handle_l1_eviction if train_at == "l1" else None
+        self.l1ds = [
+            Cache(
+                config.l1d,
+                name=f"l1d{i}",
+                on_evict=l1_on_evict,
+                stats=self.stats.child(f"l1d{i}"),
+            )
+            for i in range(config.num_cores)
+        ]
+        self.l1_mshrs = [
+            MshrFile(config.l1d.mshr_entries, self.stats.child(f"l1d{i}").child("mshr"))
+            for i in range(config.num_cores)
+        ]
+        self.llc = Cache(
+            config.llc,
+            name="llc",
+            on_evict=self._handle_llc_eviction,
+            stats=self.stats.child("llc"),
+        )
+        self.dram = DramModel(
+            config.dram, config.core, amap.block_size, self.stats.child("dram")
+        )
+        self._llc_stats = self.stats.child("llc")
+        self._block_bits = amap.block_bits
+        self._now = 0.0  # advanced by accesses; used to time writebacks
+
+    # -- eviction plumbing ---------------------------------------------------
+    def _handle_llc_eviction(self, block: int, state: BlockState) -> None:
+        if state.prefetched and not state.used:
+            self._llc_stats.add("overpredictions")
+        if state.dirty and self.config.model_writebacks:
+            self.dram.writeback(self._now, block << self._block_bits)
+        if self.train_at == "llc":
+            self._notify_eviction(block, state.used)
+
+    def _handle_l1_eviction(self, block: int, state: BlockState) -> None:
+        """L1-training mode: L1 evictions end region residencies."""
+        self._notify_eviction(block, was_used=True)
+
+    def _notify_eviction(self, block: int, was_used: bool) -> None:
+        # Broadcast once per distinct prefetcher instance: with shared
+        # metadata (the Section V ablation) all cores route to one object,
+        # which must not see the same eviction four times.
+        seen = set()
+        for pf in self.prefetchers:
+            if id(pf) not in seen:
+                seen.add(id(pf))
+                pf.on_eviction(block, was_used)
+
+    # -- the demand path --------------------------------------------------------
+    def access(
+        self,
+        core_id: int,
+        pc: int,
+        vaddr: int,
+        now: float,
+        is_write: bool = False,
+    ) -> AccessResult:
+        """One demand load/store from ``core_id`` at cycle ``now``."""
+        cfg = self.config
+        paddr = self.translator.translate(core_id, vaddr)
+        block = paddr >> self._block_bits
+
+        # ---- L1D ----
+        l1 = self.l1ds[core_id]
+        l1.stats.add("accesses")
+        l1_hit = l1.lookup(block) is not None
+
+        # L1-training mode: the prefetcher sees every L1 access.
+        if self.prefetchers and self.train_at == "l1":
+            self._now = max(self._now, now)
+            pf = self.prefetchers[core_id]
+            info = AccessInfo(
+                pc=pc,
+                address=paddr,
+                block=block,
+                hit=l1_hit,
+                time=now,
+                core_id=core_id,
+                is_write=is_write,
+            )
+            requests = pf.clamp_degree(pf.on_access(info))
+            if requests:
+                self._issue_prefetches(pf, core_id, block, requests, now)
+
+        if l1_hit:
+            l1.stats.add("hits")
+            return AccessResult(latency=cfg.l1d.hit_latency, l1_hit=True)
+        l1.stats.add("misses")
+
+        # L1 MSHR: merge with an outstanding miss to the same block, or
+        # stall if the file is full.
+        mshr = self.l1_mshrs[core_id]
+        merged = mshr.merge(block, now)
+        if merged is not None:
+            latency = (merged - now) + cfg.l1d.hit_latency
+            return AccessResult(latency=latency, llc_hit=True)
+        issue = mshr.reserve(now) + cfg.l1d.hit_latency
+
+        # ---- LLC (demand) ----
+        result = self._llc_access(core_id, pc, paddr, block, issue, is_write)
+        total = (issue - now) + cfg.l1d.hit_latency + result.latency
+        mshr.commit(block, now + total)
+
+        # Fill the L1 (non-inclusive victim handling: L1 victims vanish).
+        l1.fill(block, BlockState(core_id=core_id))
+        result.latency = total
+        return result
+
+    def _llc_access(
+        self,
+        core_id: int,
+        pc: int,
+        paddr: int,
+        block: int,
+        now: float,
+        is_write: bool,
+    ) -> AccessResult:
+        cfg = self.config
+        stats = self._llc_stats
+        stats.add("demand_accesses")
+        self._now = max(self._now, now)
+        if is_write:
+            stats.add("demand_writes")
+
+        state = self.llc.lookup(block)
+        hit = state is not None
+        result = AccessResult(latency=0.0)
+
+        if hit:
+            wait = max(0.0, state.ready_time - now)
+            if state.prefetched and not state.used:
+                # First demand use of a prefetched block: a covered miss.
+                state.used = True
+                stats.add("covered")
+                stats.add("prefetch_hits")
+                result.covered = True
+                if wait > 0:
+                    stats.add("late_covered")
+                    result.late = True
+            else:
+                stats.add("demand_hits")
+            result.llc_hit = True
+            result.latency = cfg.llc.hit_latency + wait
+            if is_write:
+                state.dirty = True
+        else:
+            stats.add("demand_misses")
+            dram_latency = self.dram.access(
+                now + cfg.llc.hit_latency, block << self._block_bits
+            )
+            result.llc_miss = True
+            result.latency = cfg.llc.hit_latency + dram_latency
+            fill_state = BlockState(core_id=core_id, ready_time=now + result.latency)
+            fill_state.used = True
+            fill_state.dirty = is_write
+            self.llc.fill(block, fill_state)
+
+        # ---- train / trigger the prefetcher (LLC placement) ----
+        if self.prefetchers and self.train_at == "llc":
+            pf = self.prefetchers[core_id]
+            info = AccessInfo(
+                pc=pc,
+                address=paddr,
+                block=block,
+                hit=hit,
+                time=now,
+                core_id=core_id,
+                is_write=is_write,
+            )
+            requests = pf.clamp_degree(pf.on_access(info))
+            if requests:
+                result.prefetches_issued = self._issue_prefetches(
+                    pf, core_id, block, requests, now + cfg.llc.hit_latency
+                )
+        return result
+
+    # -- the prefetch path ----------------------------------------------------
+    def _issue_prefetches(
+        self,
+        pf: Prefetcher,
+        core_id: int,
+        trigger_block: int,
+        requests,
+        issue_time: float,
+    ) -> int:
+        stats = self._llc_stats
+        issued = 0
+        for req in requests:
+            block = req.block
+            if block < 0:
+                # A delta/stride prefetcher extrapolated below address
+                # zero; real hardware would squash the request.
+                stats.add("rejected_prefetches")
+                continue
+            if block == trigger_block or self.llc.contains(block):
+                stats.add("redundant_prefetches")
+                continue
+            latency = self.dram.access(
+                issue_time, block << self._block_bits, is_prefetch=True
+            )
+            ready = issue_time + latency
+            self.llc.fill(
+                block, BlockState(prefetched=True, ready_time=ready, core_id=core_id)
+            )
+            pf.on_prefetch_fill(block, ready)
+            stats.add("prefetches_issued")
+            issued += 1
+        return issued
+
+    # -- end-of-run accounting ------------------------------------------------
+    def finalize(self) -> None:
+        """Count prefetched blocks still resident and unused at run end.
+
+        These are neither covered misses nor (yet) overpredictions; the
+        accuracy metric treats them as unused, matching the paper's
+        "used before eviction" definition.
+        """
+        unused = 0
+        for set_entries in self.llc._sets:
+            for state in set_entries.values():
+                if state.prefetched and not state.used:
+                    unused += 1
+        self._llc_stats.set("prefetch_unused_at_end", unused)

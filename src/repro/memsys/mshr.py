@@ -1,0 +1,95 @@
+"""Miss Status Holding Registers.
+
+An MSHR file bounds the number of outstanding misses a cache can have in
+flight (Table I: 8 entries at the L1).  In our latency-based model it has
+two jobs: *merging* (a second miss to a block already in flight piggybacks
+on the first) and *back-pressure* (a miss issued while all entries are busy
+stalls until the oldest outstanding miss completes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from repro.common.stats import StatGroup
+
+
+class MshrFile:
+    """Tracks outstanding misses as ``block -> completion_time``.
+
+    Times are core cycles (floats are accepted; ordering is what matters).
+    Entries whose completion time has passed are garbage-collected lazily
+    on each call, so the structure never grows beyond ``entries`` live
+    misses.
+    """
+
+    def __init__(self, entries: int, stats: Optional[StatGroup] = None) -> None:
+        if entries <= 0:
+            raise ValueError(f"MSHR entries must be positive, got {entries}")
+        self.entries = entries
+        self.stats = stats if stats is not None else StatGroup("mshr")
+        self._inflight: Dict[int, float] = {}
+        self._heap: List[tuple] = []  # (completion_time, block)
+
+    def _expire(self, now: float) -> None:
+        while self._heap and self._heap[0][0] <= now:
+            time, block = heapq.heappop(self._heap)
+            # Stale heap entries (block re-registered later) are skipped.
+            if self._inflight.get(block) == time:
+                del self._inflight[block]
+
+    def outstanding(self, now: float) -> int:
+        """Number of misses still in flight at ``now``."""
+        self._expire(now)
+        return len(self._inflight)
+
+    def lookup(self, block: int, now: float) -> Optional[float]:
+        """Completion time of an in-flight miss to ``block``, if any."""
+        self._expire(now)
+        time = self._inflight.get(block)
+        if time is not None and time > now:
+            return time
+        return None
+
+    def reserve(self, now: float) -> float:
+        """Find the earliest time a new miss can issue.
+
+        If the file is full at ``now``, the miss stalls until the oldest
+        outstanding miss retires (freeing its entry as a side effect); the
+        returned time is when the request actually leaves the cache.
+        """
+        self._expire(now)
+        start = now
+        while len(self._inflight) >= self.entries:
+            time, block_done = self._heap[0]
+            start = max(start, time)
+            heapq.heappop(self._heap)
+            if self._inflight.get(block_done) == time:
+                del self._inflight[block_done]
+            self.stats.add("stalls")
+        return start
+
+    def commit(self, block: int, finish: float) -> None:
+        """Register an issued miss that will complete at ``finish``."""
+        self._inflight[block] = finish
+        heapq.heappush(self._heap, (finish, block))
+        self.stats.add("allocations")
+
+    def allocate(self, block: int, now: float, completion: float) -> float:
+        """Reserve an entry for a new miss; returns the *stall-adjusted* start.
+
+        Convenience wrapper over :meth:`reserve` + :meth:`commit` for
+        callers whose downstream latency is already known: the completion
+        time is shifted by any stall the reservation incurred.
+        """
+        start = self.reserve(now)
+        self.commit(block, completion + (start - now))
+        return start
+
+    def merge(self, block: int, now: float) -> Optional[float]:
+        """Merge with an in-flight miss; returns its completion time or None."""
+        time = self.lookup(block, now)
+        if time is not None:
+            self.stats.add("merges")
+        return time

@@ -1,0 +1,34 @@
+"""The prefetcher zoo: every baseline the paper compares against.
+
+All prefetchers implement :class:`repro.prefetchers.base.Prefetcher` and
+attach to the shared LLC (one private instance per core, as in Section V).
+Bingo itself lives in :mod:`repro.core` because it is the paper's primary
+contribution; it registers here alongside the baselines.
+"""
+
+from repro.prefetchers.ampm import AmpmPrefetcher
+from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
+from repro.prefetchers.bop import BestOffsetPrefetcher
+from repro.prefetchers.nextline import NextLinePrefetcher
+from repro.prefetchers.registry import available_prefetchers, make_prefetcher
+from repro.prefetchers.sandbox import SandboxPrefetcher
+from repro.prefetchers.sms import SmsPrefetcher
+from repro.prefetchers.spp import SppPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.vldp import VldpPrefetcher
+
+__all__ = [
+    "AccessInfo",
+    "Prefetcher",
+    "PrefetchRequest",
+    "AmpmPrefetcher",
+    "BestOffsetPrefetcher",
+    "NextLinePrefetcher",
+    "SandboxPrefetcher",
+    "SmsPrefetcher",
+    "SppPrefetcher",
+    "StridePrefetcher",
+    "VldpPrefetcher",
+    "available_prefetchers",
+    "make_prefetcher",
+]

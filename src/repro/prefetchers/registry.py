@@ -1,0 +1,99 @@
+"""Name-based prefetcher construction.
+
+The experiment drivers, the CLI, and the benches all build prefetchers by
+name, with per-run keyword overrides (e.g. ``degree=32`` for the Fig. 10
+iso-degree variants).  Bingo lives in :mod:`repro.core` but registers here
+so a single namespace covers the whole zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.addresses import AddressMap
+from repro.prefetchers.base import NullPrefetcher, Prefetcher
+
+PrefetcherFactory = Callable[..., Prefetcher]
+
+_REGISTRY: Dict[str, PrefetcherFactory] = {}
+
+
+def register(name: str, factory: PrefetcherFactory) -> None:
+    """Register a prefetcher factory under ``name`` (lowercase)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"prefetcher {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def available_prefetchers() -> List[str]:
+    """Sorted names of all registered prefetchers."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def make_prefetcher(
+    name: str, address_map: Optional[AddressMap] = None, **kwargs
+) -> Prefetcher:
+    """Instantiate a registered prefetcher by name.
+
+    ``kwargs`` are forwarded to the factory, so experiment code can say
+    ``make_prefetcher("bop", degree=32)`` for the aggressive variants.
+    """
+    _ensure_builtins()
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; available: {available_prefetchers()}"
+        ) from None
+    return factory(address_map=address_map, **kwargs)
+
+
+def _ensure_builtins() -> None:
+    """Register the built-in zoo on first use.
+
+    Registration is deferred (not done at import time) because
+    ``repro.core`` imports the :class:`Prefetcher` base from this package
+    — eager registration would be a circular import.
+    """
+    if _REGISTRY:
+        return
+    from repro.core.bingo import BingoPrefetcher
+    from repro.core.events import EventKind
+    from repro.core.multi_event import MultiEventSpatialPrefetcher
+    from repro.prefetchers.ampm import AmpmPrefetcher
+    from repro.prefetchers.bop import BestOffsetPrefetcher
+    from repro.prefetchers.ghb import GhbPrefetcher
+    from repro.prefetchers.markov import MarkovPrefetcher
+    from repro.prefetchers.nextline import NextLinePrefetcher
+    from repro.prefetchers.sandbox import SandboxPrefetcher
+    from repro.prefetchers.sms import SmsPrefetcher
+    from repro.prefetchers.spp import SppPrefetcher
+    from repro.prefetchers.stride import StridePrefetcher
+    from repro.prefetchers.vldp import VldpPrefetcher
+
+    def sfp_factory(address_map=None, **kwargs):
+        # SFP (Kumar & Wilkerson, ISCA 1998 - the paper's reference
+        # [17]): per-region footprints keyed by the single long
+        # PC+Address event; the conservative extreme of Section III.
+        pf = MultiEventSpatialPrefetcher(
+            address_map=address_map, kinds=(EventKind.PC_ADDRESS,), **kwargs
+        )
+        pf.name = "sfp"
+        return pf
+
+    register("none", NullPrefetcher)
+    register("nextline", NextLinePrefetcher)
+    register("stride", StridePrefetcher)
+    register("ghb", GhbPrefetcher)
+    register("markov", MarkovPrefetcher)
+    register("sandbox", SandboxPrefetcher)
+    register("bop", BestOffsetPrefetcher)
+    register("spp", SppPrefetcher)
+    register("vldp", VldpPrefetcher)
+    register("ampm", AmpmPrefetcher)
+    register("sfp", sfp_factory)
+    register("sms", SmsPrefetcher)
+    register("bingo", BingoPrefetcher)
+    register("multi-event", MultiEventSpatialPrefetcher)

@@ -1,0 +1,48 @@
+"""Spatial Memory Streaming (Somogyi et al., ISCA 2006).
+
+SMS is the PPH prefetcher Bingo directly builds on: it records per-region
+footprints exactly like Bingo but files each footprint under the single
+``PC+Offset`` event.  Section VI shows the consequence — aggressive, high
+coverage (the event recurs often, and applies learned footprints to never
+-seen pages, covering compulsory misses), but lower accuracy than Bingo
+because ``PC+Offset`` alone is "not long enough".
+
+Implemented as the single-event specialisation of
+:class:`repro.core.multi_event.MultiEventSpatialPrefetcher`; Section V
+equips it with a 16 K-entry, 16-way history table, same as Bingo's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.addresses import AddressMap
+from repro.core.events import EventKind
+from repro.core.multi_event import MultiEventSpatialPrefetcher
+
+
+class SmsPrefetcher(MultiEventSpatialPrefetcher):
+    """Per-region footprints keyed by the ``PC+Offset`` trigger event."""
+
+    name = "sms"
+
+    def __init__(
+        self,
+        address_map: Optional[AddressMap] = None,
+        history_entries: int = 16 * 1024,
+        history_ways: int = 16,
+        filter_sets: int = 8,
+        filter_ways: int = 8,
+        accumulation_sets: int = 4,
+        accumulation_ways: int = 8,
+    ) -> None:
+        super().__init__(
+            address_map=address_map,
+            kinds=(EventKind.PC_OFFSET,),
+            entries_per_table=history_entries,
+            ways=history_ways,
+            filter_sets=filter_sets,
+            filter_ways=filter_ways,
+            accumulation_sets=accumulation_sets,
+            accumulation_ways=accumulation_ways,
+        )

@@ -1,0 +1,14 @@
+"""Trace-driven multi-core simulation: engine, runner API, results."""
+
+from repro.sim.engine import SimulationEngine, SimulationParams
+from repro.sim.results import SimResult, speedup
+from repro.sim.runner import compare_prefetchers, run_simulation
+
+__all__ = [
+    "SimulationEngine",
+    "SimulationParams",
+    "SimResult",
+    "speedup",
+    "compare_prefetchers",
+    "run_simulation",
+]

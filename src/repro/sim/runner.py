@@ -1,0 +1,91 @@
+"""High-level run API: what examples, experiments, and benches call."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.common.config import SystemConfig
+from repro.sim.engine import SimulationEngine, SimulationParams
+from repro.sim.results import SimResult
+from repro.workloads.base import Workload
+from repro.workloads.registry import make_workload
+
+
+def _resolve_workload(
+    workload: Union[str, Workload], seed: int, scale: float
+) -> Workload:
+    if isinstance(workload, Workload):
+        return workload
+    return make_workload(workload, seed=seed, scale=scale)
+
+
+def run_simulation(
+    workload: Union[str, Workload],
+    prefetcher: str = "none",
+    system: Optional[SystemConfig] = None,
+    instructions_per_core: int = 100_000,
+    warmup_instructions: int = 20_000,
+    seed: int = 1234,
+    scale: float = 1.0,
+    prefetcher_kwargs: Optional[dict] = None,
+    prefetchers=None,
+    train_at: str = "llc",
+) -> SimResult:
+    """Run one workload under one prefetcher; returns the measured window.
+
+    ``workload`` may be a Table II name (``"em3d"``) or a custom
+    :class:`repro.workloads.base.Workload`.  ``prefetcher_kwargs`` are
+    forwarded to the prefetcher factory (e.g. ``{"degree": 32}`` for the
+    Fig. 10 aggressive variants); ``prefetchers`` may instead supply
+    ready-built per-core instances (used by the motivation experiments
+    that need to interrogate the prefetcher afterwards).
+    """
+    engine = SimulationEngine(
+        workload=_resolve_workload(workload, seed, scale),
+        prefetcher=prefetcher,
+        system=system,
+        params=SimulationParams(
+            instructions_per_core=instructions_per_core,
+            warmup_instructions=warmup_instructions,
+        ),
+        prefetcher_kwargs=prefetcher_kwargs,
+        prefetchers=prefetchers,
+        train_at=train_at,
+    )
+    return engine.run()
+
+
+def compare_prefetchers(
+    workload: Union[str, Workload],
+    prefetchers: Sequence[str],
+    system: Optional[SystemConfig] = None,
+    instructions_per_core: int = 100_000,
+    warmup_instructions: int = 20_000,
+    seed: int = 1234,
+    scale: float = 1.0,
+    prefetcher_kwargs: Optional[Dict[str, dict]] = None,
+    include_baseline: bool = True,
+) -> Dict[str, SimResult]:
+    """Run a workload under several prefetchers (plus the baseline).
+
+    Returns ``{prefetcher_name: SimResult}``; the no-prefetcher baseline
+    is included under ``"none"`` unless disabled.  ``prefetcher_kwargs``
+    maps prefetcher name to its keyword overrides.
+    """
+    names = list(prefetchers)
+    if include_baseline and "none" not in names:
+        names.insert(0, "none")
+    kwargs_by_name = prefetcher_kwargs or {}
+    resolved = _resolve_workload(workload, seed, scale)
+    results: Dict[str, SimResult] = {}
+    for name in names:
+        results[name] = run_simulation(
+            resolved,
+            prefetcher=name,
+            system=system,
+            instructions_per_core=instructions_per_core,
+            warmup_instructions=warmup_instructions,
+            seed=seed,
+            prefetcher_kwargs=kwargs_by_name.get(name),
+        )
+    return results

@@ -1,0 +1,45 @@
+"""Parameter sweeps (Fig. 6 and the ablation benches)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+from repro.common.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.runner import run_simulation
+from repro.workloads.base import Workload
+
+
+def sweep_prefetcher_parameter(
+    workload: Union[str, Workload],
+    prefetcher: str,
+    parameter: str,
+    values: Iterable,
+    base_kwargs: Optional[dict] = None,
+    system: Optional[SystemConfig] = None,
+    instructions_per_core: int = 100_000,
+    warmup_instructions: int = 20_000,
+    seed: int = 1234,
+    scale: float = 1.0,
+) -> Dict[object, SimResult]:
+    """Run the same (workload, prefetcher) across values of one parameter.
+
+    Used for the Fig. 6 history-size sweep
+    (``parameter="history_entries"``) and the vote-threshold / region-size
+    ablations.  Returns ``{value: SimResult}`` in input order.
+    """
+    results: Dict[object, SimResult] = {}
+    for value in values:
+        kwargs = dict(base_kwargs or {})
+        kwargs[parameter] = value
+        results[value] = run_simulation(
+            workload,
+            prefetcher=prefetcher,
+            system=system,
+            instructions_per_core=instructions_per_core,
+            warmup_instructions=warmup_instructions,
+            seed=seed,
+            scale=scale,
+            prefetcher_kwargs=kwargs,
+        )
+    return results

@@ -1,0 +1,19 @@
+"""Synthetic workload generators standing in for the paper's traces.
+
+Table II's applications are reproduced as parameterised access-pattern
+generators.  Each generator emits a per-core infinite instruction stream
+(:class:`repro.cpu.trace.TraceRecord`) whose *spatial structure* matches
+the published characterisation of the original workload — fixed-layout
+record lookups, interleaved streams, pointer chasing, stencils — because
+that structure, not the absolute addresses, is what spatial prefetchers
+key on.  DESIGN.md §2 documents each substitution.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    available_workloads,
+    make_workload,
+)
+
+__all__ = ["Workload", "WORKLOAD_NAMES", "available_workloads", "make_workload"]

@@ -1,0 +1,87 @@
+"""Workload abstraction: named, seeded, per-core instruction streams."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.cpu.trace import TraceRecord
+
+#: A per-core generator of trace records; must be infinite.
+StreamFactory = Callable[[random.Random, int], Iterator[TraceRecord]]
+
+
+@dataclass
+class Workload:
+    """A named multi-core workload.
+
+    ``streams`` maps a core id to its stream factory; homogeneous server
+    workloads use the same factory on every core, the SPEC mixes bind a
+    different kernel per core (Table II).  Factories receive a seeded
+    PRNG (derived from the workload seed and the core id) so runs are
+    exactly reproducible and cores are decorrelated.
+    """
+
+    name: str
+    streams: Dict[int, StreamFactory]
+    description: str = ""
+    paper_mpki: Optional[float] = None  # Table II's LLC MPKI, for reports
+    seed: int = 1234
+
+    def core_stream(self, core_id: int) -> Iterator[TraceRecord]:
+        """The instruction stream for one core."""
+        try:
+            factory = self.streams[core_id]
+        except KeyError:
+            raise ValueError(
+                f"workload {self.name!r} has no stream for core {core_id}; "
+                f"cores available: {sorted(self.streams)}"
+            ) from None
+        rng = random.Random((self.seed << 8) ^ (core_id * 0x9E3779B1))
+        return factory(rng, core_id)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.streams)
+
+    def with_seed(self, seed: int) -> "Workload":
+        """A copy with a different seed (for variance studies)."""
+        return Workload(
+            name=self.name,
+            streams=dict(self.streams),
+            description=self.description,
+            paper_mpki=self.paper_mpki,
+            seed=seed,
+        )
+
+
+def homogeneous(
+    name: str,
+    factory: StreamFactory,
+    num_cores: int = 4,
+    description: str = "",
+    paper_mpki: Optional[float] = None,
+) -> Workload:
+    """All cores run the same stream factory (server/scientific apps)."""
+    return Workload(
+        name=name,
+        streams={core: factory for core in range(num_cores)},
+        description=description,
+        paper_mpki=paper_mpki,
+    )
+
+
+def heterogeneous(
+    name: str,
+    factories,
+    description: str = "",
+    paper_mpki: Optional[float] = None,
+) -> Workload:
+    """One distinct stream factory per core (the SPEC mixes)."""
+    return Workload(
+        name=name,
+        streams={core: factory for core, factory in enumerate(factories)},
+        description=description,
+        paper_mpki=paper_mpki,
+    )

@@ -1,0 +1,39 @@
+"""The five four-core SPEC mixes of Table II."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, heterogeneous
+from repro.workloads.spec import SPEC_KERNELS
+
+#: Table II's composition of each mix.
+MIX_COMPOSITIONS = {
+    "mix1": ("lbm", "omnetpp", "soplex", "sphinx3"),
+    "mix2": ("lbm", "libquantum", "sphinx3", "zeusmp"),
+    "mix3": ("milc", "omnetpp", "perlbench", "soplex"),
+    "mix4": ("astar", "omnetpp", "soplex", "tonto"),
+    "mix5": ("gemsfdtd", "gromacs", "omnetpp", "soplex"),
+}
+
+_PAPER_MPKI = {
+    "mix1": 15.7,
+    "mix2": 12.5,
+    "mix3": 12.7,
+    "mix4": 14.7,
+    "mix5": 12.6,
+}
+
+
+def make_mix(name: str, scale: float = 1.0) -> Workload:
+    """Build one of the five mixes by name at the given working-set scale."""
+    try:
+        kernels = MIX_COMPOSITIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mix {name!r}; available: {sorted(MIX_COMPOSITIONS)}"
+        ) from None
+    return heterogeneous(
+        name,
+        [SPEC_KERNELS[kernel](scale) for kernel in kernels],
+        description="SPEC-like mix: " + ", ".join(kernels),
+        paper_mpki=_PAPER_MPKI[name],
+    )

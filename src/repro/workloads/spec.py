@@ -1,0 +1,281 @@
+"""SPEC CPU2006-like kernels for the mix workloads.
+
+Table II's five mixes combine twelve memory-intensive SPEC programs.  We
+model each program as the access-pattern kernel the characterisation
+literature attributes to it (stencil, pointer chase, gather, stride, ...)
+sized well beyond a per-core LLC share so the mixes land in the paper's
+12–16 MPKI band.
+
+Each entry in :data:`SPEC_KERNELS` is a *kernel builder*: given a
+working-set ``scale`` it returns a stream factory suitable for
+:func:`repro.workloads.base.heterogeneous`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads import primitives as prim
+
+MB = 1024 * 1024
+_HEAP = 0x1000_0000
+_ARENA2 = 0x4000_0000
+_ARENA3 = 0x7000_0000
+
+StreamFactory = Callable[[random.Random, int], Iterator[TraceRecord]]
+KernelBuilder = Callable[[float], StreamFactory]
+
+
+def _scaled(byte_count: float, scale: float, minimum: int = 64 * 1024) -> int:
+    return max(minimum, int(byte_count * scale))
+
+
+def lbm(scale: float) -> StreamFactory:
+    """Lattice-Boltzmann: streaming stencil over large grids."""
+    size = _scaled(48 * MB, scale, minimum=512 * 1024)
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        return prim.stencil_sweep(
+            rng,
+            pc_base=0x420000,
+            array_bases=[_HEAP, _HEAP + 256 * MB, _HEAP + 512 * MB],
+            size_bytes=size,
+            element_bytes=8,
+            gap=4,
+        )
+
+    return stream
+
+
+def omnetpp(scale: float) -> StreamFactory:
+    """Discrete-event simulation: pointer chasing through a large heap."""
+    nodes = _scaled(32 * MB, scale, minimum=1 * MB) // 64
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        return prim.pointer_chase(
+            rng,
+            pc=0x421000,
+            base=_HEAP,
+            num_nodes=nodes,
+            node_bytes=64,
+            gap=45,
+            extra_fields=1,
+            run_locality=0.45,
+        )
+
+    return stream
+
+
+def soplex(scale: float) -> StreamFactory:
+    """LP solver: sequential index walks steering sparse gathers."""
+    data = _scaled(64 * MB, scale, minimum=2 * MB)
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        return prim.indirect_gather(
+            rng,
+            pc_base=0x422000,
+            index_base=_HEAP,
+            data_base=_ARENA2,
+            index_entries=2 * MB,
+            data_bytes=data,
+            gap=45,
+        )
+
+    return stream
+
+
+def sphinx3(scale: float) -> StreamFactory:
+    """Speech recognition: strided sweeps over acoustic models."""
+    size = _scaled(24 * MB, scale, minimum=512 * 1024)
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        return prim.strided_stream(
+            rng, pc=0x423000, base=_HEAP, size_bytes=size, stride_bytes=128, gap=45
+        )
+
+    return stream
+
+
+def libquantum(scale: float) -> StreamFactory:
+    """Quantum simulation: a pure sequential sweep over the state vector."""
+    size = _scaled(32 * MB, scale, minimum=512 * 1024)
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        return prim.sequential_stream(
+            rng, pc=0x424000, base=_HEAP, size_bytes=size, gap=36
+        )
+
+    return stream
+
+
+def milc(scale: float) -> StreamFactory:
+    """Lattice QCD: strided sweeps with a larger stride."""
+    size = _scaled(32 * MB, scale, minimum=512 * 1024)
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        return prim.strided_stream(
+            rng, pc=0x425000, base=_HEAP, size_bytes=size, stride_bytes=192, gap=45
+        )
+
+    return stream
+
+
+def gems_fdtd(scale: float) -> StreamFactory:
+    """Finite-difference time domain: multi-array stencil."""
+    size = _scaled(40 * MB, scale, minimum=512 * 1024)
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        return prim.stencil_sweep(
+            rng,
+            pc_base=0x426000,
+            array_bases=[_HEAP, _HEAP + 256 * MB],
+            size_bytes=size,
+            element_bytes=8,
+            gap=5,
+        )
+
+    return stream
+
+
+def zeusmp(scale: float) -> StreamFactory:
+    """Astrophysical CFD: stencil over several field arrays."""
+    size = _scaled(24 * MB, scale, minimum=512 * 1024)
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        return prim.stencil_sweep(
+            rng,
+            pc_base=0x427000,
+            array_bases=[
+                _HEAP,
+                _HEAP + 256 * MB,
+                _HEAP + 512 * MB,
+                _HEAP + 768 * MB,
+            ],
+            size_bytes=size,
+            element_bytes=8,
+            gap=6,
+        )
+
+    return stream
+
+
+def astar(scale: float) -> StreamFactory:
+    """Pathfinding: graph pointer chasing with some locality."""
+    nodes = _scaled(16 * MB, scale, minimum=1 * MB) // 64
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        chase = prim.pointer_chase(
+            rng,
+            pc=0x428000,
+            base=_HEAP,
+            num_nodes=nodes,
+            node_bytes=64,
+            gap=40,
+            extra_fields=2,
+            run_locality=0.35,
+        )
+        local = prim.hot_cold(
+            rng,
+            pc=0x429000,
+            hot_base=_ARENA2,
+            hot_bytes=_scaled(512 * 1024, scale, minimum=32 * 1024),
+            cold_base=_ARENA3,
+            cold_bytes=_scaled(32 * MB, scale),
+            hot_probability=0.9,
+            gap=6,
+        )
+        return prim.mix(rng, [chase, local], weights=[0.7, 0.3], chunk=24)
+
+    return stream
+
+
+def perlbench(scale: float) -> StreamFactory:
+    """Interpreter: hot working set with a trickle of cold references."""
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        return prim.hot_cold(
+            rng,
+            pc=0x42A000,
+            hot_base=_HEAP,
+            hot_bytes=_scaled(768 * 1024, scale, minimum=48 * 1024),
+            cold_base=_ARENA2,
+            cold_bytes=_scaled(128 * MB, scale),
+            hot_probability=0.99,
+            gap=6,
+        )
+
+    return stream
+
+
+def gromacs(scale: float) -> StreamFactory:
+    """Molecular dynamics: neighbour-list gathers plus resident hot data."""
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        gather = prim.indirect_gather(
+            rng,
+            pc_base=0x42B000,
+            index_base=_HEAP,
+            data_base=_ARENA2,
+            index_entries=1 * MB,
+            data_bytes=_scaled(12 * MB, scale, minimum=512 * 1024),
+            gap=24,
+        )
+        hot = prim.hot_cold(
+            rng,
+            pc=0x42C000,
+            hot_base=_ARENA3,
+            hot_bytes=_scaled(1 * MB, scale, minimum=64 * 1024),
+            cold_base=_ARENA3 + 256 * MB,
+            cold_bytes=_scaled(16 * MB, scale),
+            hot_probability=0.99,
+            gap=8,
+        )
+        return prim.mix(rng, [gather, hot], weights=[0.5, 0.5], chunk=24)
+
+    return stream
+
+
+def tonto(scale: float) -> StreamFactory:
+    """Quantum chemistry: blocked strided sweeps with reuse."""
+
+    def stream(rng: random.Random, core_id: int) -> Iterator[TraceRecord]:
+        sweep = prim.strided_stream(
+            rng,
+            pc=0x42D000,
+            base=_HEAP,
+            size_bytes=_scaled(8 * MB, scale, minimum=256 * 1024),
+            stride_bytes=64,
+            gap=30,
+        )
+        hot = prim.hot_cold(
+            rng,
+            pc=0x42E000,
+            hot_base=_ARENA2,
+            hot_bytes=_scaled(1 * MB, scale, minimum=64 * 1024),
+            cold_base=_ARENA3,
+            cold_bytes=_scaled(16 * MB, scale),
+            hot_probability=0.99,
+            gap=8,
+        )
+        return prim.mix(rng, [sweep, hot], weights=[0.5, 0.5], chunk=24)
+
+    return stream
+
+
+#: kernel-builder registry used by the mixes and by tests
+SPEC_KERNELS: Dict[str, KernelBuilder] = {
+    "lbm": lbm,
+    "omnetpp": omnetpp,
+    "soplex": soplex,
+    "sphinx3": sphinx3,
+    "libquantum": libquantum,
+    "milc": milc,
+    "gemsfdtd": gems_fdtd,
+    "zeusmp": zeusmp,
+    "astar": astar,
+    "perlbench": perlbench,
+    "gromacs": gromacs,
+    "tonto": tonto,
+}

@@ -1,0 +1,60 @@
+"""CSV/JSON export of experiment rows."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import export_rows, write_csv, write_json
+
+ROWS = [
+    {"workload": "em3d", "speedup": 2.0},
+    {"workload": "zeus", "speedup": 1.05, "note": "flat"},
+]
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ROWS)
+        with open(path, newline="") as fh:
+            got = list(csv.DictReader(fh))
+        assert got[0]["workload"] == "em3d"
+        assert got[0]["note"] == ""  # missing cell
+        assert got[1]["note"] == "flat"
+
+    def test_column_union_keeps_order(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ROWS)
+        header = open(path).readline().strip()
+        assert header == "workload,speedup,note"
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "out.csv", [])
+
+
+class TestJson:
+    def test_envelope(self, tmp_path):
+        path = write_json(tmp_path / "out.json", ROWS, experiment="fig8")
+        document = json.loads(path.read_text())
+        assert document["experiment"] == "fig8"
+        assert document["columns"] == ["workload", "speedup", "note"]
+        assert document["rows"][1]["speedup"] == 1.05
+
+
+class TestDispatch:
+    def test_by_extension(self, tmp_path):
+        assert export_rows(tmp_path / "a.csv", ROWS).suffix == ".csv"
+        assert export_rows(tmp_path / "a.json", ROWS).suffix == ".json"
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported"):
+            export_rows(tmp_path / "a.xlsx", ROWS)
+
+
+def test_cli_export_flag(tmp_path, capsys):
+    from repro import cli
+
+    out = tmp_path / "table1.csv"
+    assert cli.main(["experiment", "table1", "--export", str(out)]) == 0
+    assert out.exists()
+    assert "exported" in capsys.readouterr().out

@@ -1,0 +1,180 @@
+"""Footprint bit-vectors: bit ops, set algebra, shifting, voting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitvec import Footprint, vote
+
+offsets_strategy = st.lists(
+    st.integers(min_value=0, max_value=31), max_size=32, unique=True
+)
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        fp = Footprint(32)
+        assert fp.is_empty()
+        assert fp.popcount() == 0
+        assert fp.offsets() == []
+
+    def test_set_test_clear(self):
+        fp = Footprint(32)
+        fp.set(5)
+        assert fp.test(5)
+        assert not fp.test(4)
+        fp.clear(5)
+        assert not fp.test(5)
+
+    def test_from_offsets(self):
+        fp = Footprint.from_offsets(32, [1, 3, 31])
+        assert fp.offsets() == [1, 3, 31]
+        assert fp.popcount() == 3
+
+    def test_density(self):
+        fp = Footprint.from_offsets(32, range(8))
+        assert fp.density() == pytest.approx(0.25)
+
+    def test_copy_is_independent(self):
+        fp = Footprint.from_offsets(32, [1])
+        other = fp.copy()
+        other.set(2)
+        assert not fp.test(2)
+
+    @pytest.mark.parametrize("width", [0, -1])
+    def test_rejects_bad_width(self, width):
+        with pytest.raises(ValueError):
+            Footprint(width)
+
+    def test_rejects_bits_exceeding_width(self):
+        with pytest.raises(ValueError):
+            Footprint(4, bits=0x10)
+
+    @pytest.mark.parametrize("offset", [-1, 32])
+    def test_out_of_range_offset(self, offset):
+        with pytest.raises(IndexError):
+            Footprint(32).set(offset)
+
+    def test_equality_and_hash(self):
+        a = Footprint.from_offsets(32, [1, 2])
+        b = Footprint.from_offsets(32, [1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Footprint.from_offsets(32, [1])
+        assert a != Footprint.from_offsets(16, [1, 2])
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = Footprint.from_offsets(8, [0, 1])
+        b = Footprint.from_offsets(8, [1, 2])
+        assert a.union(b).offsets() == [0, 1, 2]
+
+    def test_intersection(self):
+        a = Footprint.from_offsets(8, [0, 1])
+        b = Footprint.from_offsets(8, [1, 2])
+        assert a.intersection(b).offsets() == [1]
+
+    def test_difference(self):
+        a = Footprint.from_offsets(8, [0, 1])
+        b = Footprint.from_offsets(8, [1, 2])
+        assert a.difference(b).offsets() == [0]
+
+    def test_overlap_count(self):
+        a = Footprint.from_offsets(8, [0, 1, 2])
+        b = Footprint.from_offsets(8, [1, 2, 3])
+        assert a.overlap(b) == 2
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Footprint(8).union(Footprint(16))
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            Footprint(8).union(0b11)  # type: ignore[arg-type]
+
+
+class TestShifted:
+    def test_shift_forward_drops_overflow(self):
+        fp = Footprint.from_offsets(8, [6, 7])
+        assert fp.shifted(2).offsets() == []
+
+    def test_shift_backward(self):
+        fp = Footprint.from_offsets(8, [2, 4])
+        assert fp.shifted(-2).offsets() == [0, 2]
+
+    def test_shift_zero_is_identity(self):
+        fp = Footprint.from_offsets(8, [1, 5])
+        assert fp.shifted(0) == fp
+
+
+class TestVote:
+    def test_single_footprint_majority(self):
+        fp = Footprint.from_offsets(8, [1, 2])
+        assert vote([fp], threshold=0.2) == fp
+
+    def test_paper_20_percent_threshold(self):
+        """A block present in 1 of 5 footprints passes a 20 % vote."""
+        dense = Footprint.from_offsets(8, [0, 1, 2, 3])
+        sparse = [Footprint.from_offsets(8, [0]) for _ in range(4)]
+        voted = vote([dense] + sparse, threshold=0.20)
+        assert voted.offsets() == [0, 1, 2, 3]
+
+    def test_majority_threshold_excludes_minority_blocks(self):
+        dense = Footprint.from_offsets(8, [0, 1, 2, 3])
+        sparse = [Footprint.from_offsets(8, [0]) for _ in range(4)]
+        voted = vote([dense] + sparse, threshold=0.5)
+        assert voted.offsets() == [0]
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            vote([], threshold=0.2)
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.1, 1.5])
+    def test_bad_threshold_raises(self, threshold):
+        with pytest.raises(ValueError):
+            vote([Footprint(8)], threshold=threshold)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            vote([Footprint(8), Footprint(16)], threshold=0.2)
+
+
+@given(offsets=offsets_strategy)
+def test_offsets_roundtrip(offsets):
+    fp = Footprint.from_offsets(32, offsets)
+    assert fp.offsets() == sorted(offsets)
+    assert fp.popcount() == len(offsets)
+
+
+@given(a=offsets_strategy, b=offsets_strategy)
+def test_union_intersection_laws(a, b):
+    fa = Footprint.from_offsets(32, a)
+    fb = Footprint.from_offsets(32, b)
+    union = fa.union(fb)
+    inter = fa.intersection(fb)
+    assert union.popcount() + inter.popcount() == fa.popcount() + fb.popcount()
+    assert set(inter.offsets()) <= set(union.offsets())
+
+
+@given(offsets=offsets_strategy, delta=st.integers(min_value=-32, max_value=32))
+def test_shifted_preserves_relative_positions(offsets, delta):
+    fp = Footprint.from_offsets(32, offsets)
+    shifted = fp.shifted(delta)
+    expected = {o + delta for o in offsets if 0 <= o + delta < 32}
+    assert set(shifted.offsets()) == expected
+
+
+@given(
+    footprints=st.lists(offsets_strategy, min_size=1, max_size=8),
+    threshold=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_vote_bounds(footprints, threshold):
+    """A voted footprint is within [intersection, union] of its inputs."""
+    fps = [Footprint.from_offsets(32, o) for o in footprints]
+    voted = vote(fps, threshold)
+    union = set()
+    inter = set(range(32))
+    for fp in fps:
+        union |= set(fp.offsets())
+        inter &= set(fp.offsets())
+    assert inter <= set(voted.offsets()) <= union

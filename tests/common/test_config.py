@@ -1,0 +1,78 @@
+"""Configuration dataclasses: Table I defaults and validation."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    SystemConfig,
+    small_system,
+)
+
+
+class TestCacheConfig:
+    def test_llc_default_matches_table1(self):
+        llc = SystemConfig().llc
+        assert llc.size_bytes == 8 * 1024 * 1024
+        assert llc.ways == 16
+        assert llc.hit_latency == 15
+        assert llc.sets == 8192
+
+    def test_l1_default_matches_table1(self):
+        l1 = SystemConfig().l1d
+        assert l1.size_bytes == 64 * 1024
+        assert l1.ways == 8
+        assert l1.mshr_entries == 8
+
+    def test_blocks(self):
+        assert CacheConfig(size_bytes=4096, ways=2).blocks == 64
+
+    def test_rejects_fractional_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 64 * 2, ways=2)
+
+
+class TestDramConfig:
+    def test_defaults_match_table1(self):
+        dram = DramConfig()
+        assert dram.channels == 2
+        assert dram.zero_load_ns == 60.0
+        assert dram.peak_bandwidth_gbps == 37.5
+
+    def test_row_hit_cannot_exceed_zero_load(self):
+        with pytest.raises(ValueError):
+            DramConfig(row_hit_ns=100.0, zero_load_ns=60.0)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            DramConfig(channels=0)
+
+
+class TestCoreConfig:
+    def test_defaults_match_table1(self):
+        core = CoreConfig()
+        assert core.width == 4
+        assert core.rob_entries == 256
+        assert core.frequency_ghz == 4.0
+
+    def test_cycles_rounds_up(self):
+        core = CoreConfig(frequency_ghz=4.0)
+        assert core.cycles(60.0) == 240
+        assert core.cycles(60.1) == 241
+
+
+class TestSystemConfig:
+    def test_scaled_override(self):
+        system = SystemConfig().scaled(num_cores=2)
+        assert system.num_cores == 2
+        assert system.llc.size_bytes == 8 * 1024 * 1024  # untouched
+
+    def test_small_system_keeps_ratios(self):
+        system = small_system()
+        assert system.num_cores == 1
+        assert system.l1d.size_bytes < system.llc.size_bytes

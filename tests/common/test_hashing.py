@@ -1,0 +1,59 @@
+"""Hash mixing: determinism, range, sensitivity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.hashing import combine, fold, mix64
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_stays_in_64_bits(self):
+        assert 0 <= mix64(2**70) < 2**64
+
+    def test_avalanche_on_small_change(self):
+        a = mix64(1)
+        b = mix64(2)
+        differing = bin(a ^ b).count("1")
+        assert differing > 16  # strong mixers flip ~half the bits
+
+
+class TestCombine:
+    def test_order_sensitive(self):
+        assert combine(1, 2) != combine(2, 1)
+
+    def test_arity_sensitive(self):
+        assert combine(1) != combine(1, 0)
+
+    def test_deterministic(self):
+        assert combine(3, 4, 5) == combine(3, 4, 5)
+
+
+class TestFold:
+    @pytest.mark.parametrize("bits", [1, 4, 10, 16])
+    def test_range(self, bits):
+        for value in (0, 1, 2**40, 2**63):
+            assert 0 <= fold(value, bits) < 2**bits
+
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ValueError):
+            fold(1, 0)
+
+    def test_strided_keys_spread(self):
+        """The motivating case: strided addresses must not all collide."""
+        indices = {fold(base * 32, 6) for base in range(1000)}
+        assert len(indices) == 64  # all 64 buckets used
+
+
+@given(value=st.integers(min_value=0, max_value=2**64 - 1),
+       bits=st.integers(min_value=1, max_value=32))
+def test_fold_in_range(value, bits):
+    assert 0 <= fold(value, bits) < 2**bits
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=2**32), min_size=1,
+                       max_size=5))
+def test_combine_deterministic(values):
+    assert combine(*values) == combine(*values)

@@ -1,0 +1,112 @@
+"""Replacement policies: LRU ordering, FIFO ordering, validity handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_victim_prefers_invalid_way(self):
+        policy = LruPolicy(4)
+        policy.insert(0)
+        policy.insert(1)
+        assert policy.victim() in (2, 3)
+
+    def test_lru_order(self):
+        policy = LruPolicy(3)
+        for way in range(3):
+            policy.insert(way)
+        assert policy.victim() == 0  # least recently used
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_recency_rank(self):
+        policy = LruPolicy(3)
+        for way in range(3):
+            policy.insert(way)
+        assert policy.recency_rank(2) == 0  # MRU
+        assert policy.recency_rank(0) == 2  # LRU
+
+    def test_invalidate_reopens_way(self):
+        policy = LruPolicy(2)
+        policy.insert(0)
+        policy.insert(1)
+        policy.invalidate(0)
+        assert policy.victim() == 0
+
+
+class TestFifo:
+    def test_eviction_ignores_touches(self):
+        policy = FifoPolicy(2)
+        policy.insert(0)
+        policy.insert(1)
+        policy.touch(0)  # must not refresh FIFO position
+        assert policy.victim() == 0
+
+
+class TestRandom:
+    def test_victim_in_range_and_deterministic(self):
+        a = RandomPolicy(8, seed=1)
+        b = RandomPolicy(8, seed=1)
+        for way in range(8):
+            a.insert(way)
+            b.insert(way)
+        victims_a = [a.victim() for _ in range(10)]
+        victims_b = [b.victim() for _ in range(10)]
+        assert victims_a == victims_b
+        assert all(0 <= v < 8 for v in victims_a)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LruPolicy), ("LRU", LruPolicy),
+        ("fifo", FifoPolicy), ("random", RandomPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("plru", 4)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)
+
+    def test_out_of_range_way_rejected(self):
+        policy = LruPolicy(2)
+        with pytest.raises(IndexError):
+            policy.touch(2)
+
+
+@given(
+    ways=st.integers(min_value=1, max_value=8),
+    ops=st.lists(st.tuples(st.sampled_from(["insert", "touch", "invalidate"]),
+                           st.integers(min_value=0, max_value=7)), max_size=50),
+    policy_name=st.sampled_from(["lru", "fifo", "random"]),
+)
+def test_victim_always_legal(ways, ops, policy_name):
+    """After any op sequence, victim() returns an in-range way, preferring
+    invalid ways when one exists."""
+    policy = make_policy(policy_name, ways)
+    valid = set()
+    for op, way in ops:
+        way %= ways
+        if op == "insert":
+            policy.insert(way)
+            valid.add(way)
+        elif op == "touch" and way in valid:
+            policy.touch(way)
+        elif op == "invalidate":
+            policy.invalidate(way)
+            valid.discard(way)
+    victim = policy.victim()
+    assert 0 <= victim < ways
+    if len(valid) < ways:
+        assert victim not in valid

@@ -1,0 +1,56 @@
+"""Stat groups: counters, children, ratios, walking, reset."""
+
+from repro.common.stats import StatGroup
+
+
+class TestCounters:
+    def test_autocreate_and_accumulate(self):
+        group = StatGroup("llc")
+        group.add("hits")
+        group.add("hits", 2)
+        assert group.get("hits") == 3
+        assert group["hits"] == 3
+
+    def test_missing_counter_reads_zero(self):
+        assert StatGroup("x").get("nope") == 0
+
+    def test_set_overwrites(self):
+        group = StatGroup("x")
+        group.add("n", 5)
+        group.set("n", 1)
+        assert group.get("n") == 1
+
+    def test_ratio(self):
+        group = StatGroup("x")
+        group.add("hits", 3)
+        group.add("accesses", 4)
+        assert group.ratio("hits", "accesses") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        assert StatGroup("x").ratio("a", "b") == 0.0
+
+
+class TestChildren:
+    def test_child_is_cached(self):
+        group = StatGroup("root")
+        assert group.child("llc") is group.child("llc")
+
+    def test_as_dict_nests(self):
+        group = StatGroup("root")
+        group.add("n", 1)
+        group.child("sub").add("m", 2)
+        assert group.as_dict() == {"n": 1, "sub": {"m": 2}}
+
+    def test_walk_produces_dotted_paths(self):
+        group = StatGroup("root")
+        group.add("n", 1)
+        group.child("sub").add("m", 2)
+        assert dict(group.walk()) == {"root.n": 1, "root.sub.m": 2}
+
+    def test_reset_recurses(self):
+        group = StatGroup("root")
+        group.add("n", 1)
+        group.child("sub").add("m", 2)
+        group.reset()
+        assert group.get("n") == 0
+        assert group.child("sub").get("m") == 0

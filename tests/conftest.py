@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.addresses import AddressMap
+from repro.common.config import small_system
+
+
+@pytest.fixture
+def amap() -> AddressMap:
+    """The paper's geometry: 64 B blocks, 2 KB regions, 4 KB pages."""
+    return AddressMap()
+
+
+@pytest.fixture
+def tiny_map() -> AddressMap:
+    """A small geometry (8 blocks/region) for exhaustive table tests."""
+    return AddressMap(block_size=64, region_size=512, page_size=1024)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def tiny_system():
+    """One-core scaled-down system for fast end-to-end tests."""
+    return small_system(num_cores=1)

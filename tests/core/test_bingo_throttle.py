@@ -1,0 +1,72 @@
+"""The optional accuracy-feedback throttle (extension, off by default)."""
+
+import pytest
+
+from repro.core.bingo import BingoPrefetcher
+from repro.prefetchers.base import AccessInfo
+
+
+def access(pf, block, pc=0x400):
+    info = AccessInfo(pc=pc, address=block * 64, block=block, hit=False,
+                      time=0.0)
+    return [req.block for req in pf.on_access(info)]
+
+
+def test_disabled_by_default():
+    pf = BingoPrefetcher()
+    assert not pf.throttle
+    pf.on_prefetch_fill(5, time=1.0)
+    assert not pf._inflight_prefetches  # no tracking overhead when off
+
+
+def test_bad_outcomes_engage_conservative_vote():
+    pf = BingoPrefetcher(throttle=True)
+    pf._THROTTLE_WINDOW = 8  # small window for the test
+    for block in range(8):
+        pf.on_prefetch_fill(block, time=0.0)
+    for block in range(8):
+        pf.on_eviction(block, was_used=False)  # all wasted
+    assert pf.history.vote_threshold == pf._CONSERVATIVE_VOTE
+    assert pf.stats.get("throttle_engaged") == 1
+
+
+def test_good_outcomes_restore_base_vote():
+    pf = BingoPrefetcher(throttle=True)
+    pf._THROTTLE_WINDOW = 8
+    for block in range(8):
+        pf.on_prefetch_fill(block, time=0.0)
+    for block in range(8):
+        pf.on_eviction(block, was_used=False)
+    assert pf.history.vote_threshold == pf._CONSERVATIVE_VOTE
+    for block in range(8, 16):
+        pf.on_prefetch_fill(block, time=0.0)
+    for block in range(8, 16):
+        pf.on_eviction(block, was_used=True)  # all useful
+    assert pf.history.vote_threshold == pf.base_vote_threshold
+
+
+def test_foreign_evictions_are_not_judged():
+    pf = BingoPrefetcher(throttle=True)
+    pf._THROTTLE_WINDOW = 2
+    pf.on_eviction(123, was_used=False)  # never our prefetch
+    assert pf._judged_total == 0
+
+
+def test_reset_restores_feedback_state():
+    pf = BingoPrefetcher(throttle=True)
+    pf._THROTTLE_WINDOW = 2
+    for block in (1, 2):
+        pf.on_prefetch_fill(block, time=0.0)
+        pf.on_eviction(block, was_used=False)
+    assert pf.history.vote_threshold == pf._CONSERVATIVE_VOTE
+    pf.reset()
+    assert pf.history.vote_threshold == pf.base_vote_threshold
+    assert pf._judged_total == 0
+
+
+def test_throttled_bingo_still_prefetches():
+    pf = BingoPrefetcher(throttle=True)
+    for block in (0, 3, 7):
+        access(pf, block)
+    pf.on_eviction(0, was_used=True)
+    assert access(pf, 32) == [32 + 3, 32 + 7]

@@ -1,0 +1,75 @@
+"""The event taxonomy: extraction, ordering, the carried-in property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import (
+    Event,
+    EventKind,
+    LONGEST_TO_SHORTEST,
+    extract_all,
+)
+
+
+class TestOrdering:
+    def test_paper_order(self):
+        assert LONGEST_TO_SHORTEST[0] is EventKind.PC_ADDRESS
+        assert LONGEST_TO_SHORTEST[1] is EventKind.PC_OFFSET
+        assert LONGEST_TO_SHORTEST[-1] is EventKind.OFFSET
+
+    def test_lengths_monotone_nonincreasing_at_ends(self):
+        lengths = [kind.length for kind in LONGEST_TO_SHORTEST]
+        assert lengths[0] == max(lengths)
+        assert lengths[-1] == min(lengths)
+
+    def test_includes_offset(self):
+        assert EventKind.PC_ADDRESS.includes_offset
+        assert EventKind.PC_OFFSET.includes_offset
+        assert EventKind.ADDRESS.includes_offset
+        assert EventKind.OFFSET.includes_offset
+        assert not EventKind.PC.includes_offset
+
+
+class TestExtraction:
+    def test_pc_address_distinguishes_blocks(self):
+        a = Event.from_trigger(EventKind.PC_ADDRESS, pc=1, block=10, offset=2)
+        b = Event.from_trigger(EventKind.PC_ADDRESS, pc=1, block=11, offset=2)
+        assert a.key != b.key
+
+    def test_pc_offset_ignores_block(self):
+        a = Event.from_trigger(EventKind.PC_OFFSET, pc=1, block=10, offset=2)
+        b = Event.from_trigger(EventKind.PC_OFFSET, pc=1, block=999, offset=2)
+        assert a.key == b.key
+
+    def test_pc_ignores_everything_but_pc(self):
+        a = Event.from_trigger(EventKind.PC, pc=1, block=10, offset=2)
+        b = Event.from_trigger(EventKind.PC, pc=1, block=999, offset=31)
+        assert a.key == b.key
+
+    def test_offset_only(self):
+        a = Event.from_trigger(EventKind.OFFSET, pc=1, block=10, offset=2)
+        b = Event.from_trigger(EventKind.OFFSET, pc=99, block=999, offset=2)
+        assert a.key == b.key
+
+    def test_kinds_never_collide_keys(self):
+        keys = {
+            Event.from_trigger(kind, pc=1, block=10, offset=2).key
+            for kind in EventKind
+        }
+        assert len(keys) == len(list(EventKind))
+
+    def test_extract_all_longest_first(self):
+        events = extract_all(pc=1, block=10, offset=2)
+        assert tuple(e.kind for e in events) == LONGEST_TO_SHORTEST
+
+
+@given(
+    pc=st.integers(min_value=0, max_value=2**48),
+    block=st.integers(min_value=0, max_value=2**42),
+    offset=st.integers(min_value=0, max_value=31),
+)
+def test_extraction_is_deterministic(pc, block, offset):
+    for kind in EventKind:
+        a = Event.from_trigger(kind, pc, block, offset)
+        b = Event.from_trigger(kind, pc, block, offset)
+        assert a == b

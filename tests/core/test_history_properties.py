@@ -1,0 +1,78 @@
+"""Property tests on the unified history table."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.bitvec import Footprint
+from repro.core.events import EventKind
+from repro.core.history import BingoHistoryTable
+
+inserts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),  # pc
+        st.integers(min_value=0, max_value=255),  # block
+        st.integers(min_value=0, max_value=31),  # offset
+        st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                 max_size=8, unique=True),  # footprint offsets
+    ),
+    max_size=40,
+)
+
+probes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=31),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(deadline=None, max_examples=60)
+@given(data=inserts, lookups=probes)
+def test_lookup_invariants(data, lookups):
+    """For any insert/lookup mix:
+
+    * the table never exceeds its capacity;
+    * a long (PC+Address) match returns exactly the last footprint
+      inserted for that trigger, provided it was never displaced;
+    * a short match's footprint offsets never include blocks absent from
+      every stored footprint of that (pc, offset) pair.
+    """
+    table = BingoHistoryTable(entries=256, ways=16)
+    last_for_trigger = {}
+    all_for_short = {}
+    for pc, block, offset, fp_offsets in data:
+        footprint = Footprint.from_offsets(32, set(fp_offsets) | {offset})
+        table.insert(pc, block, offset, footprint)
+        last_for_trigger[(pc, block, offset)] = footprint
+        all_for_short.setdefault((pc, offset), set()).update(
+            footprint.offsets()
+        )
+    assert len(table) <= 256
+
+    for pc, block, offset in lookups:
+        match = table.lookup(pc, block, offset)
+        if match is None:
+            continue
+        if match.matched is EventKind.PC_ADDRESS:
+            expected = last_for_trigger.get((pc, block, offset))
+            if expected is not None and len(table) == len(last_for_trigger):
+                assert match.footprint == expected
+        else:
+            union = all_for_short.get((pc, offset), set())
+            assert set(match.footprint.offsets()) <= union
+
+
+@settings(deadline=None, max_examples=30)
+@given(data=inserts)
+def test_every_insert_is_immediately_retrievable(data):
+    """The entry just inserted always long-matches (it is MRU)."""
+    table = BingoHistoryTable(entries=256, ways=16)
+    for pc, block, offset, fp_offsets in data:
+        footprint = Footprint.from_offsets(32, set(fp_offsets) | {offset})
+        table.insert(pc, block, offset, footprint)
+        match = table.lookup(pc, block, offset)
+        assert match is not None
+        assert match.matched is EventKind.PC_ADDRESS
+        assert match.footprint == footprint

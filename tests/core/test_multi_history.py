@@ -1,0 +1,113 @@
+"""Cascaded TAGE-like tables: priority order, realignment, storage cost."""
+
+import pytest
+
+from repro.common.bitvec import Footprint
+from repro.core.events import EventKind, LONGEST_TO_SHORTEST
+from repro.core.multi_history import CascadedHistoryTables
+
+
+def fp(*offsets) -> Footprint:
+    return Footprint.from_offsets(32, offsets)
+
+
+def tables(kinds=LONGEST_TO_SHORTEST) -> CascadedHistoryTables:
+    return CascadedHistoryTables(kinds=kinds, entries=64, ways=4)
+
+
+class TestCascade:
+    def test_insert_populates_every_table(self):
+        t = tables()
+        t.insert(pc=1, block=100, offset=4, footprint=fp(4, 5))
+        assert all(size == 1 for size in t.table_sizes().values())
+
+    def test_longest_event_wins(self):
+        t = tables()
+        t.insert(pc=1, block=100, offset=4, footprint=fp(4, 5))
+        match = t.lookup(pc=1, block=100, offset=4)
+        assert match.matched is EventKind.PC_ADDRESS
+
+    def test_falls_through_to_shorter_events(self):
+        t = tables()
+        t.insert(pc=1, block=100, offset=4, footprint=fp(4, 5))
+        # Different block: PC_ADDRESS misses, PC_OFFSET hits.
+        assert t.lookup(pc=1, block=999, offset=4).matched is EventKind.PC_OFFSET
+        # Different offset too: falls to bare PC.
+        assert t.lookup(pc=1, block=999, offset=9).matched is EventKind.PC
+        # Different pc: falls to ADDRESS.
+        assert t.lookup(pc=2, block=100, offset=4).matched is EventKind.ADDRESS
+        # Everything different except offset: OFFSET.
+        assert t.lookup(pc=2, block=999, offset=4).matched is EventKind.OFFSET
+
+    def test_total_miss(self):
+        t = tables()
+        t.insert(pc=1, block=100, offset=4, footprint=fp(4))
+        assert t.lookup(pc=2, block=999, offset=9) is None
+
+    def test_lookup_all_reports_each_table(self):
+        t = tables()
+        t.insert(pc=1, block=100, offset=4, footprint=fp(4))
+        predictions = t.lookup_all(pc=1, block=999, offset=4)
+        assert predictions[EventKind.PC_ADDRESS] is None
+        assert predictions[EventKind.PC_OFFSET] is not None
+        assert predictions[EventKind.OFFSET] is not None
+
+
+class TestRealignment:
+    def test_pc_event_reanchors_footprint(self):
+        """A bare-PC match recorded at trigger offset 4 and replayed at
+        offset 10 shifts the pattern by +6."""
+        t = tables(kinds=(EventKind.PC,))
+        t.insert(pc=1, block=100, offset=4, footprint=fp(4, 5, 6))
+        match = t.lookup(pc=1, block=999, offset=10)
+        assert match.footprint == fp(10, 11, 12)
+
+    def test_reanchoring_clips_at_region_edge(self):
+        t = tables(kinds=(EventKind.PC,))
+        t.insert(pc=1, block=100, offset=0, footprint=fp(0, 31))
+        match = t.lookup(pc=1, block=999, offset=4)
+        assert match.footprint == fp(4)  # 31+4 falls off the region
+
+    def test_offset_pinning_events_do_not_shift(self):
+        t = tables(kinds=(EventKind.PC_OFFSET,))
+        t.insert(pc=1, block=100, offset=4, footprint=fp(4, 7))
+        match = t.lookup(pc=1, block=999, offset=4)
+        assert match.footprint == fp(4, 7)
+
+
+class TestValidation:
+    def test_rejects_empty_kinds(self):
+        with pytest.raises(ValueError):
+            CascadedHistoryTables(kinds=())
+
+    def test_rejects_duplicate_kinds(self):
+        with pytest.raises(ValueError):
+            CascadedHistoryTables(kinds=(EventKind.PC, EventKind.PC))
+
+    def test_rejects_wrong_footprint_width(self):
+        with pytest.raises(ValueError):
+            tables().insert(pc=1, block=1, offset=0, footprint=Footprint(8))
+
+
+class TestStorage:
+    def test_storage_scales_with_table_count(self):
+        one = CascadedHistoryTables(kinds=(EventKind.PC_ADDRESS,), entries=1024,
+                                    ways=4)
+        two = CascadedHistoryTables(
+            kinds=(EventKind.PC_ADDRESS, EventKind.PC_OFFSET), entries=1024, ways=4
+        )
+        assert two.storage_bits == 2 * one.storage_bits
+
+    def test_unified_table_is_cheaper_than_dual(self):
+        """The paper's storage claim: one unified table beats two cascaded
+        tables of the same geometry."""
+        from repro.core.history import BingoHistoryTable
+
+        dual = CascadedHistoryTables(
+            kinds=(EventKind.PC_ADDRESS, EventKind.PC_OFFSET),
+            entries=16 * 1024,
+            ways=16,
+        )
+        unified = BingoHistoryTable(entries=16 * 1024, ways=16)
+        assert unified.storage_bits < dual.storage_bits
+        assert unified.storage_bits * 1.8 < dual.storage_bits

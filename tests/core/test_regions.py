@@ -1,0 +1,75 @@
+"""Filter and accumulation tables: graduation and residency commits."""
+
+import pytest
+
+from repro.common.bitvec import Footprint
+from repro.core.regions import AccumulationTable, FilterTable, RegionRecord
+
+
+def make_record(offset=0, pc=0x400) -> RegionRecord:
+    footprint = Footprint(32)
+    footprint.set(offset)
+    return RegionRecord(
+        trigger_pc=pc, trigger_offset=offset, trigger_block=offset, footprint=footprint
+    )
+
+
+class TestFilterTable:
+    def test_insert_lookup_remove(self):
+        table = FilterTable(sets=2, ways=2)
+        table.insert(7, make_record())
+        assert table.lookup(7) is not None
+        assert table.remove(7) is not None
+        assert table.lookup(7) is None
+        assert len(table) == 0
+
+    def test_remove_missing(self):
+        assert FilterTable().remove(42) is None
+
+    def test_capacity(self):
+        assert FilterTable(sets=8, ways=8).capacity == 64
+
+
+class TestAccumulationTable:
+    def test_record_access_sets_bits(self):
+        commits = []
+        table = AccumulationTable(lambda r, rec: commits.append(r), sets=2, ways=2)
+        table.insert(5, make_record(offset=1))
+        assert table.record_access(5, 3)
+        assert table.lookup(5).footprint.offsets() == [1, 3]
+
+    def test_record_access_untracked_region(self):
+        table = AccumulationTable(lambda r, rec: None, sets=2, ways=2)
+        assert not table.record_access(99, 0)
+
+    def test_explicit_evict_commits(self):
+        commits = []
+        table = AccumulationTable(
+            lambda r, rec: commits.append((r, rec.footprint.offsets())),
+            sets=2,
+            ways=2,
+        )
+        table.insert(5, make_record(offset=1))
+        table.record_access(5, 2)
+        table.evict(5)
+        assert commits == [(5, [1, 2])]
+        assert table.lookup(5) is None
+
+    def test_capacity_replacement_commits(self):
+        commits = []
+        table = AccumulationTable(lambda r, rec: commits.append(r), sets=1, ways=2)
+        for region in (1, 2, 3):
+            table.insert(region, make_record())
+        assert commits == [1]  # LRU displaced
+
+    def test_evict_missing_is_noop(self):
+        commits = []
+        table = AccumulationTable(lambda r, rec: commits.append(r), sets=1, ways=2)
+        assert table.evict(9) is None
+        assert commits == []
+
+    def test_items(self):
+        table = AccumulationTable(lambda r, rec: None, sets=2, ways=2)
+        table.insert(1, make_record())
+        table.insert(2, make_record())
+        assert {region for region, _rec in table.items()} == {1, 2}

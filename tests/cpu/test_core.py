@@ -1,0 +1,107 @@
+"""The ROB-window timing model: width, ROB stalls, dependences, MLP."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import CoreConfig
+from repro.cpu.core import CoreTimingModel
+
+
+class TestComputeThroughput:
+    def test_pure_compute_ipc_approaches_width(self):
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=32))
+        for _ in range(10_000):
+            core.retire_compute()
+        assert core.ipc() == pytest.approx(4.0, rel=0.01)
+
+    def test_single_wide_core(self):
+        core = CoreTimingModel(CoreConfig(width=1, rob_entries=32))
+        for _ in range(1000):
+            core.retire_compute()
+        assert core.ipc() == pytest.approx(1.0, rel=0.01)
+
+
+class TestMemoryTiming:
+    def test_independent_misses_overlap(self):
+        """Two independent long loads retire ~one latency apart, not two."""
+        core = CoreTimingModel(CoreConfig())
+        issue1 = core.load_issue_time(False)
+        core.retire_memory(issue1, latency=200.0)
+        issue2 = core.load_issue_time(False)
+        retire2 = core.retire_memory(issue2, latency=200.0)
+        assert retire2 < 250  # overlapped, not serialised (400+)
+
+    def test_dependent_loads_serialise(self):
+        core = CoreTimingModel(CoreConfig())
+        issue1 = core.load_issue_time(False)
+        core.retire_memory(issue1, latency=200.0)
+        issue2 = core.load_issue_time(True)
+        assert issue2 >= 200.0  # cannot issue before the value arrives
+        retire2 = core.retire_memory(issue2, latency=200.0)
+        assert retire2 >= 400.0
+
+    def test_rob_limits_outstanding_window(self):
+        """With a 4-entry ROB, dispatch stalls behind unretired misses."""
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=4))
+        issue = core.load_issue_time(False)
+        core.retire_memory(issue, latency=1000.0)
+        for _ in range(3):
+            core.retire_compute()
+        # The 5th instruction needs the load's ROB slot.
+        assert core.next_issue_time() >= 1000.0
+
+    def test_large_rob_does_not_stall(self):
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=256))
+        issue = core.load_issue_time(False)
+        core.retire_memory(issue, latency=1000.0)
+        for _ in range(100):
+            core.retire_compute()
+        assert core.next_issue_time() < 1000.0
+
+
+class TestRetirementOrder:
+    def test_retire_times_monotonic(self):
+        core = CoreTimingModel(CoreConfig())
+        previous = 0.0
+        for i in range(100):
+            if i % 3 == 0:
+                issue = core.load_issue_time(False)
+                retire = core.retire_memory(issue, latency=float(i % 7) * 50)
+            else:
+                retire = core.retire_compute()
+            assert retire >= previous
+            previous = retire
+
+    def test_instruction_count(self):
+        core = CoreTimingModel(CoreConfig())
+        for _ in range(7):
+            core.retire_compute()
+        assert core.instructions == 7
+        assert core.stats.get("instructions") == 7
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.booleans(),
+                  st.floats(min_value=0, max_value=500)),
+        max_size=200,
+    )
+)
+def test_clock_never_goes_backwards(ops):
+    """Property: retire and dispatch clocks are nondecreasing for any mix
+    of compute and (possibly dependent) memory instructions."""
+    core = CoreTimingModel(CoreConfig(width=2, rob_entries=16))
+    last_retire = 0.0
+    last_dispatch = 0.0
+    for is_mem, dependent, latency in ops:
+        dispatch = core.next_issue_time()
+        assert dispatch >= last_dispatch
+        last_dispatch = dispatch
+        if is_mem:
+            issue = core.load_issue_time(dependent)
+            assert issue >= dispatch
+            retire = core.retire_memory(issue, latency)
+        else:
+            retire = core.retire_compute()
+        assert retire >= last_retire
+        last_retire = retire

@@ -1,0 +1,39 @@
+"""Trace records: constructors and flags."""
+
+from repro.cpu.trace import TraceRecord
+
+
+def test_compute_record():
+    record = TraceRecord.compute(pc=0x400)
+    assert not record.is_mem
+    assert not record.is_write
+    assert record.pc == 0x400
+
+
+def test_load_record():
+    record = TraceRecord.load(pc=0x400, address=0x1000)
+    assert record.is_mem
+    assert not record.is_write
+    assert record.address == 0x1000
+    assert not record.depends_on_prev_load
+
+
+def test_dependent_load():
+    record = TraceRecord.load(pc=0x400, address=0x1000, depends_on_prev_load=True)
+    assert record.depends_on_prev_load
+
+
+def test_store_record():
+    record = TraceRecord.store(pc=0x400, address=0x2000)
+    assert record.is_mem
+    assert record.is_write
+
+
+def test_records_are_immutable():
+    record = TraceRecord.compute(pc=1)
+    try:
+        record.pc = 2  # type: ignore[misc]
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("TraceRecord should be frozen")

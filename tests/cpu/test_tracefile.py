@@ -1,0 +1,138 @@
+"""Trace file I/O: format, round-trips, replay workloads."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.trace import TraceRecord
+from repro.cpu.tracefile import (
+    capture_workload,
+    format_record,
+    parse_record,
+    read_trace,
+    workload_from_traces,
+    write_trace,
+)
+from repro.workloads.registry import make_workload
+
+
+class TestFormat:
+    def test_compute(self):
+        assert format_record(TraceRecord.compute(pc=0x4A)) == "C 4a"
+
+    def test_load(self):
+        record = TraceRecord.load(pc=0x10, address=0x1000)
+        assert format_record(record) == "L 10 1000"
+
+    def test_dependent_load(self):
+        record = TraceRecord.load(pc=0x10, address=0x1000,
+                                  depends_on_prev_load=True)
+        assert format_record(record) == "L 10 1000 d"
+
+    def test_store(self):
+        assert format_record(TraceRecord.store(pc=0x10, address=0x20)) == \
+            "S 10 20"
+
+    @pytest.mark.parametrize("line", [
+        "", "X 1 2", "L", "L zz 10", "L 10 20 x", "C 10 20", "S 10",
+    ])
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(ValueError, match="malformed|invalid"):
+            parse_record(line)
+
+
+@given(
+    records=st.lists(
+        st.one_of(
+            st.builds(TraceRecord.compute,
+                      pc=st.integers(min_value=0, max_value=2**48)),
+            st.builds(TraceRecord.load,
+                      pc=st.integers(min_value=0, max_value=2**48),
+                      address=st.integers(min_value=0, max_value=2**48),
+                      depends_on_prev_load=st.booleans()),
+            st.builds(TraceRecord.store,
+                      pc=st.integers(min_value=0, max_value=2**48),
+                      address=st.integers(min_value=0, max_value=2**48)),
+        ),
+        max_size=50,
+    )
+)
+def test_format_parse_roundtrip(records):
+    assert [parse_record(format_record(r)) for r in records] == records
+
+
+class TestFileRoundTrip:
+    def test_plain_file(self, tmp_path):
+        path = tmp_path / "t.trace"
+        records = [TraceRecord.compute(1), TraceRecord.load(2, 0x40)]
+        assert write_trace(path, records) == 2
+        assert list(read_trace(path)) == records
+
+    def test_gzip_file(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        records = [TraceRecord.load(2, 0x40, depends_on_prev_load=True)]
+        write_trace(path, records)
+        assert list(read_trace(path)) == records
+
+    def test_limit_bounds_infinite_generators(self, tmp_path):
+        workload = make_workload("streaming", scale=0.02)
+        path = tmp_path / "s.trace"
+        count = write_trace(path, workload.core_stream(0), limit=100)
+        assert count == 100
+        assert len(list(read_trace(path))) == 100
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\nC 1\n")
+        assert list(read_trace(path)) == [TraceRecord.compute(1)]
+
+
+class TestReplayWorkload:
+    def test_capture_and_replay(self, tmp_path):
+        original = make_workload("streaming", scale=0.02)
+        paths = capture_workload(original, tmp_path, records_per_core=50)
+        assert set(paths) == {0, 1, 2, 3}
+        replayed = workload_from_traces("replay", paths)
+        got = list(itertools.islice(replayed.core_stream(0), 50))
+        expected = list(itertools.islice(original.core_stream(0), 50))
+        assert got == expected
+
+    def test_loop_restarts(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, [TraceRecord.compute(1), TraceRecord.compute(2)])
+        workload = workload_from_traces("w", {0: path})
+        pcs = [r.pc for r in itertools.islice(workload.core_stream(0), 5)]
+        assert pcs == [1, 2, 1, 2, 1]
+
+    def test_no_loop_is_finite(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, [TraceRecord.compute(1)])
+        workload = workload_from_traces("w", {0: path}, loop=False)
+        assert len(list(workload.core_stream(0))) == 1
+
+    def test_empty_trace_rejected_at_replay(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("")
+        workload = workload_from_traces("w", {0: path})
+        with pytest.raises(ValueError, match="no records"):
+            list(itertools.islice(workload.core_stream(0), 1))
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            workload_from_traces("w", {})
+
+    def test_replayed_trace_simulates(self, tmp_path):
+        """End to end: captured trace drives the simulator identically."""
+        from repro.common.config import small_system
+        from repro.sim.runner import run_simulation
+
+        original = make_workload("streaming", scale=0.02)
+        paths = capture_workload(original, tmp_path, records_per_core=3000)
+        replayed = workload_from_traces("replay", paths)
+        run = dict(system=small_system(num_cores=4),
+                   instructions_per_core=2000, warmup_instructions=500)
+        a = run_simulation(original, prefetcher="bingo", **run)
+        b = run_simulation(replayed, prefetcher="bingo", **run)
+        assert a.demand_misses == b.demand_misses
+        assert a.covered == b.covered

@@ -1,0 +1,65 @@
+"""Ablation drivers (DESIGN.md §5)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments import common as excommon
+from repro.sim.engine import SimulationParams
+
+PARAMS = SimulationParams(instructions_per_core=8000, warmup_instructions=2000)
+WORKLOADS = ("streaming",)
+
+
+@pytest.fixture(autouse=True)
+def _clear_matrix_cache():
+    excommon._MATRIX_CACHE.clear()
+    yield
+    excommon._MATRIX_CACHE.clear()
+
+
+class TestUnifiedVsCascaded:
+    def test_storage_halves(self):
+        rows = ablations.run_unified_vs_cascaded(WORKLOADS, PARAMS)
+        unified, cascaded = rows
+        assert unified["design"].startswith("unified")
+        assert unified["storage_kib"] < cascaded["storage_kib"] * 0.6
+
+    def test_formatting(self):
+        rows = ablations.run_unified_vs_cascaded(WORKLOADS, PARAMS)
+        assert "unified" in ablations.format_unified_vs_cascaded(rows)
+
+
+class TestVoteThreshold:
+    def test_rows_cover_policies(self):
+        rows = ablations.run_vote_threshold(
+            WORKLOADS, thresholds=(0.2, 0.8), params=PARAMS
+        )
+        assert [row["policy"] for row in rows] == [
+            "vote 20%", "vote 80%", "most recent",
+        ]
+
+    def test_metrics_bounded(self):
+        rows = ablations.run_vote_threshold(
+            WORKLOADS, thresholds=(0.2,), params=PARAMS,
+            include_most_recent=False,
+        )
+        row = rows[0]
+        assert 0 <= row["coverage"] <= 1
+        assert 0 <= row["accuracy"] <= 1
+        assert row["speedup"] > 0
+
+
+class TestRegionSize:
+    def test_geometry_column(self):
+        rows = ablations.run_region_size(
+            WORKLOADS, region_sizes=(1024, 2048), params=PARAMS
+        )
+        assert [row["blocks_per_region"] for row in rows] == [16, 32]
+        assert all(row["speedup"] > 0 for row in rows)
+
+
+class TestTrainingLevel:
+    def test_levels_present_and_functional(self):
+        rows = ablations.run_training_level(WORKLOADS, PARAMS)
+        assert [row["trained_at"] for row in rows] == ["llc", "l1"]
+        assert all(row["speedup"] > 0 for row in rows)

@@ -1,0 +1,53 @@
+"""The bingo-sim CLI."""
+
+import pytest
+
+from repro import cli
+
+
+def test_list_command(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "bingo" in out
+    assert "em3d" in out
+    assert "fig8" in out
+
+
+def test_run_command(capsys):
+    code = cli.main(
+        ["run", "-w", "streaming", "-p", "nextline",
+         "--instructions", "3000", "--warmup", "500"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "coverage" in out
+    assert "streaming / nextline" in out
+
+
+def test_run_with_baseline(capsys):
+    code = cli.main(
+        ["run", "-w", "streaming", "-p", "nextline",
+         "--instructions", "3000", "--warmup", "500", "--baseline"]
+    )
+    assert code == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_compare_command(capsys):
+    code = cli.main(
+        ["compare", "-w", "streaming", "-p", "nextline", "stride",
+         "--instructions", "3000", "--warmup", "500"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "nextline" in out and "stride" in out and "none" in out
+
+
+def test_experiment_table1(capsys):
+    assert cli.main(["experiment", "table1"]) == 0
+    assert "Table I" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["experiment", "fig99"])

@@ -1,0 +1,37 @@
+"""The example scripts: importable, and runnable end to end (smoke).
+
+Full example runs take minutes (they use experiment-scale windows); the
+suite compiles each script and exercises the cheap entry points. The
+examples' full outputs are validated manually and in CI-style bench
+sessions.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_is_importable_without_side_effects(path):
+    """Importing must not start a simulation (main() guard present)."""
+    assert 'if __name__ == "__main__":' in path.read_text()
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # fast: definitions only
+    assert callable(module.main)
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "prefetcher_shootout", "custom_workload",
+            "storage_sensitivity"} <= names

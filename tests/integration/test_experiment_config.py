@@ -1,0 +1,57 @@
+"""Experiment configuration helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    EXPERIMENT_SCALE,
+    PAPER_PREFETCHERS,
+    default_params,
+    experiment_system,
+    is_quick,
+)
+
+
+class TestExperimentSystem:
+    def test_scale_preserves_capacity_ratios(self):
+        from repro.common.config import SystemConfig
+
+        paper = SystemConfig()
+        scaled = experiment_system()
+        paper_ratio = paper.llc.size_bytes / paper.l1d.size_bytes
+        scaled_ratio = scaled.llc.size_bytes / scaled.l1d.size_bytes
+        assert scaled_ratio == paper_ratio / 2  # L1 floor: 16 KB not 8 KB
+        assert scaled.llc.size_bytes == paper.llc.size_bytes * EXPERIMENT_SCALE
+
+    def test_timing_parameters_unscaled(self):
+        from repro.common.config import SystemConfig
+
+        paper = SystemConfig()
+        scaled = experiment_system()
+        assert scaled.llc.hit_latency == paper.llc.hit_latency
+        assert scaled.dram == paper.dram
+        assert scaled.core == paper.core
+
+    def test_paper_prefetcher_order(self):
+        # The figures' bar order (Section V's presentation order).
+        assert PAPER_PREFETCHERS == ("bop", "spp", "vldp", "ampm", "sms",
+                                     "bingo")
+
+
+class TestQuickMode:
+    def test_env_controls_quick(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        assert is_quick()
+        assert default_params().instructions_per_core == 45_000
+        monkeypatch.setenv("REPRO_QUICK", "0")
+        assert not is_quick()
+        assert default_params().instructions_per_core == 180_000
+
+    def test_explicit_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        assert default_params(quick=False).instructions_per_core == 180_000
+
+    def test_warmup_is_quarter_of_total(self):
+        for quick in (True, False):
+            params = default_params(quick=quick)
+            total = params.instructions_per_core
+            assert params.warmup_instructions == total // 3

@@ -1,0 +1,154 @@
+"""Experiment drivers: structure and sanity of each figure's rows.
+
+Runs use a two-workload subset and very short windows — these tests check
+that each driver produces well-formed rows and internally consistent
+numbers, not that magnitudes match the paper (EXPERIMENTS.md does that).
+"""
+
+import pytest
+
+from repro.experiments import common as excommon
+from repro.experiments import (
+    fig2_events,
+    fig3_num_events,
+    fig4_redundancy,
+    fig6_storage,
+    fig7_coverage,
+    fig8_performance,
+    fig9_density,
+    fig10_isodegree,
+    table1_config,
+    table2_mpki,
+)
+from repro.sim.engine import SimulationParams
+
+WORKLOADS = ["streaming", "em3d"]
+PARAMS = SimulationParams(instructions_per_core=8000, warmup_instructions=2000)
+
+
+@pytest.fixture(autouse=True)
+def _clear_matrix_cache():
+    excommon._MATRIX_CACHE.clear()
+    yield
+    excommon._MATRIX_CACHE.clear()
+
+
+class TestTable1:
+    def test_rows_and_formatting(self):
+        rows = table1_config.run()
+        assert {row["parameter"] for row in rows} >= {"cores", "llc", "dram"}
+        text = table1_config.format_results(rows)
+        assert "Table I" in text
+
+
+class TestTable2:
+    def test_mpki_rows(self):
+        rows = table2_mpki.run(workloads=WORKLOADS, params=PARAMS)
+        assert [row["workload"] for row in rows] == WORKLOADS
+        assert all(row["measured_mpki"] > 0 for row in rows)
+        assert all(row["paper_mpki"] is not None for row in rows)
+
+
+class TestFig2:
+    def test_one_row_per_event(self):
+        rows = fig2_events.run(workloads=WORKLOADS, params=PARAMS)
+        assert [row["event"] for row in rows] == [
+            "pc+address", "pc+offset", "pc", "address", "offset",
+        ]
+        for row in rows:
+            assert 0 <= row["accuracy"] <= 1
+            assert 0 <= row["match_probability"] <= 1
+
+    def test_longest_event_matches_least(self):
+        rows = fig2_events.run(workloads=WORKLOADS, params=PARAMS)
+        by_event = {row["event"]: row for row in rows}
+        assert (
+            by_event["pc+address"]["match_probability"]
+            <= by_event["pc+offset"]["match_probability"] + 1e-9
+        )
+
+
+class TestFig3:
+    def test_rows_and_coverage_growth(self):
+        rows = fig3_num_events.run(workloads=WORKLOADS, max_events=3,
+                                   params=PARAMS)
+        assert [row["num_events"] for row in rows] == [1, 2, 3]
+        # The paper's key observation: event 2 adds substantial coverage.
+        assert rows[1]["coverage"] >= rows[0]["coverage"]
+
+
+class TestFig4:
+    def test_redundancy_fractions(self):
+        rows = fig4_redundancy.run(workloads=WORKLOADS, params=PARAMS)
+        assert rows[-1]["workload"] == "average"
+        for row in rows:
+            assert 0 <= row["redundancy"] <= 1
+
+
+class TestFig6:
+    def test_size_sweep_columns(self):
+        rows = fig6_storage.run(workloads=WORKLOADS, sizes=(1024, 4096),
+                                params=PARAMS)
+        assert set(rows[0]) == {"workload", "1K", "4K"}
+        for row in rows:
+            assert 0 <= row["1K"] <= 1 and 0 <= row["4K"] <= 1
+
+
+class TestFig7:
+    def test_matrix_rows(self):
+        rows = fig7_coverage.run(workloads=WORKLOADS,
+                                 prefetchers=("sms", "bingo"), params=PARAMS)
+        workload_names = {row["workload"] for row in rows}
+        assert workload_names == set(WORKLOADS) | {"average"}
+        for row in rows:
+            assert row["coverage"] + row["uncovered"] == pytest.approx(1.0)
+
+
+class TestFig8:
+    def test_speedup_table_has_gmean(self):
+        rows = fig8_performance.run(workloads=WORKLOADS,
+                                    prefetchers=("sms", "bingo"),
+                                    params=PARAMS)
+        assert rows[-1]["workload"] == "gmean"
+        assert all(row["bingo"] > 0 for row in rows)
+
+
+class TestFig9:
+    def test_density_below_speedup(self):
+        rows = fig9_density.run(workloads=WORKLOADS,
+                                prefetchers=("sms", "bingo"), params=PARAMS)
+        for row in rows:
+            assert row["density_improvement"] <= row["speedup"]
+            assert row["storage_kib"] > 0
+
+
+class TestFig10:
+    def test_variants_present(self):
+        rows = fig10_isodegree.run(workloads=["streaming"], params=PARAMS)
+        labels = [row["variant"] for row in rows]
+        assert labels == [
+            "bop-orig", "bop-aggr", "spp-orig", "spp-aggr",
+            "vldp-orig", "vldp-aggr", "bingo",
+        ]
+
+    def test_aggressive_issues_more(self):
+        rows = fig10_isodegree.run(workloads=["streaming"], params=PARAMS)
+        by = {row["variant"]: row for row in rows}
+        assert (
+            by["vldp-aggr"]["coverage"] + by["vldp-aggr"]["overprediction"]
+            >= by["vldp-orig"]["coverage"] + by["vldp-orig"]["overprediction"]
+        )
+
+
+class TestRunCaching:
+    def test_cached_run_reuses_results(self):
+        first = excommon.cached_run("streaming", "none", PARAMS)
+        second = excommon.cached_run("streaming", "none", PARAMS)
+        assert first is second
+
+    def test_kwargs_distinguish_cache_entries(self):
+        a = excommon.cached_run("streaming", "bingo", PARAMS,
+                                prefetcher_kwargs={"history_entries": 1024})
+        b = excommon.cached_run("streaming", "bingo", PARAMS,
+                                prefetcher_kwargs={"history_entries": 2048})
+        assert a is not b

@@ -1,0 +1,39 @@
+"""The package's public surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_registries_agree_with_cli():
+    from repro.cli import EXPERIMENTS
+
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "fig2", "fig3", "fig4", "fig6", "fig7",
+        "fig8", "fig9", "fig10",
+    }
+
+
+def test_every_experiment_module_has_run_and_format():
+    import importlib
+
+    from repro.cli import EXPERIMENTS
+
+    for module_name in EXPERIMENTS.values():
+        module = importlib.import_module(module_name)
+        assert callable(module.run)
+        assert callable(module.format_results)
+
+
+def test_table_i_default_system():
+    config = repro.SystemConfig()
+    assert config.num_cores == 4
+    assert config.llc.size_bytes == 8 * 1024 * 1024
+    assert config.dram.peak_bandwidth_gbps == 37.5

@@ -1,0 +1,60 @@
+"""The EXPERIMENTS.md refresh tool."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).parents[2] / "tools" / "update_experiments.py"
+
+
+@pytest.fixture
+def tool():
+    spec = importlib.util.spec_from_file_location("update_experiments", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+BENCH_TEXT = """
+Fig. 8 — speedup over no-prefetcher baseline
+workload  bingo
+--------  -----
+em3d      2.021
+.
+Ablation — vote
+policy  speedup
+------  -------
+20%     1.7
+.
+"""
+
+
+def test_extract_tables(tool):
+    tables = tool.extract_tables(BENCH_TEXT)
+    assert any(title.startswith("Fig. 8") for title in tables)
+    fig8 = next(t for title, t in tables.items() if title.startswith("Fig. 8"))
+    assert "em3d" in fig8
+    assert fig8.splitlines()[-1].strip() != "."  # terminator excluded
+
+
+def test_inject_is_idempotent(tool):
+    markdown = "before\n<!-- FIG8 -->\nafter"
+    once = tool.inject(markdown, "FIG8", "TABLE")
+    twice = tool.inject(once, "FIG8", "TABLE")
+    assert once == twice
+    assert once.count("TABLE") == 1
+    assert "after" in once
+
+
+def test_inject_replaces_stale_block(tool):
+    markdown = "<!-- FIG8 -->\n```\nOLD\n```\ntail"
+    updated = tool.inject(markdown, "FIG8", "NEW")
+    assert "OLD" not in updated
+    assert "NEW" in updated
+    assert "tail" in updated
+
+
+def test_missing_marker_fails(tool):
+    with pytest.raises(SystemExit, match="missing"):
+        tool.inject("no markers here", "FIG8", "T")

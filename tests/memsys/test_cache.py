@@ -1,0 +1,113 @@
+"""The cache model: hits, LRU eviction, prefetch metadata, callbacks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import CacheConfig
+from repro.memsys.cache import BlockState, Cache
+
+
+def tiny_cache(on_evict=None) -> Cache:
+    """4 sets x 2 ways of 64 B blocks."""
+    return Cache(CacheConfig(size_bytes=512, ways=2), on_evict=on_evict)
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.lookup(5) is None
+        cache.fill(5, BlockState())
+        assert cache.lookup(5) is not None
+        assert cache.contains(5)
+
+    def test_len_and_occupancy(self):
+        cache = tiny_cache()
+        cache.fill(0, BlockState())
+        cache.fill(1, BlockState())
+        assert len(cache) == 2
+        assert cache.occupancy() == pytest.approx(0.25)
+
+    def test_refill_replaces_state_without_eviction(self):
+        cache = tiny_cache()
+        cache.fill(5, BlockState(prefetched=True))
+        victim = cache.fill(5, BlockState(prefetched=False))
+        assert victim is None
+        assert not cache.lookup(5).prefetched
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_lru_victim_within_set(self):
+        cache = tiny_cache()
+        # Blocks 0, 4, 8 all map to set 0 (4 sets).
+        cache.fill(0, BlockState())
+        cache.fill(4, BlockState())
+        cache.lookup(0)  # 4 becomes LRU
+        victim = cache.fill(8, BlockState())
+        assert victim[0] == 4
+        assert cache.contains(0) and cache.contains(8)
+
+    def test_eviction_callback(self):
+        evicted = []
+        cache = tiny_cache(on_evict=lambda block, state: evicted.append(block))
+        cache.fill(0, BlockState())
+        cache.fill(4, BlockState())
+        cache.fill(8, BlockState())
+        assert evicted == [0]
+
+    def test_invalidate(self):
+        evicted = []
+        cache = tiny_cache(on_evict=lambda block, state: evicted.append(block))
+        cache.fill(3, BlockState())
+        state = cache.invalidate(3)
+        assert state is not None
+        assert evicted == [3]
+        assert not cache.contains(3)
+
+    def test_invalidate_missing(self):
+        assert tiny_cache().invalidate(42) is None
+
+
+class TestBlockState:
+    def test_prefetch_metadata_roundtrip(self):
+        cache = tiny_cache()
+        cache.fill(7, BlockState(prefetched=True, ready_time=100.0, core_id=2))
+        state = cache.lookup(7)
+        assert state.prefetched
+        assert not state.used
+        assert state.ready_time == 100.0
+        assert state.core_id == 2
+
+    def test_resident_blocks(self):
+        cache = tiny_cache()
+        for block in (1, 2, 3):
+            cache.fill(block, BlockState())
+        assert set(cache.resident_blocks()) == {1, 2, 3}
+
+
+@given(blocks=st.lists(st.integers(min_value=0, max_value=255), max_size=200))
+def test_capacity_invariant(blocks):
+    """The cache never holds more blocks than its capacity, and any block
+    just filled is resident."""
+    cache = tiny_cache()
+    for block in blocks:
+        cache.fill(block, BlockState())
+        assert cache.contains(block)
+        assert len(cache) <= 8
+
+
+@given(blocks=st.lists(st.integers(min_value=0, max_value=255), max_size=200))
+def test_set_isolation(blocks):
+    """Evictions only displace blocks of the same set."""
+    evictions = []
+    cache = Cache(
+        CacheConfig(size_bytes=512, ways=2),
+        on_evict=lambda b, s: evictions.append(b),
+    )
+    filled = []
+    for block in blocks:
+        if not cache.contains(block):
+            victim = cache.fill(block, BlockState())
+            filled.append(block)
+            if victim is not None:
+                assert victim[0] % 4 == block % 4

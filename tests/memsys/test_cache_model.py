@@ -1,0 +1,68 @@
+"""Model-based property test: Cache vs a reference LRU implementation."""
+
+from collections import OrderedDict
+
+from hypothesis import given, strategies as st
+
+from repro.common.config import CacheConfig
+from repro.memsys.cache import BlockState, Cache
+
+
+class ReferenceCache:
+    """An obviously-correct set-associative LRU cache."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets = sets
+        self.ways = ways
+        self._data = [OrderedDict() for _ in range(sets)]
+
+    def lookup(self, block: int) -> bool:
+        entries = self._data[block % self.sets]
+        if block in entries:
+            entries.move_to_end(block)
+            return True
+        return False
+
+    def fill(self, block: int):
+        entries = self._data[block % self.sets]
+        if block in entries:
+            entries.move_to_end(block)
+            return None
+        victim = None
+        if len(entries) >= self.ways:
+            victim, _ = entries.popitem(last=False)
+        entries[block] = True
+        return victim
+
+    def invalidate(self, block: int) -> bool:
+        return self._data[block % self.sets].pop(block, None) is not None
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["lookup", "fill", "invalidate"]),
+        st.integers(min_value=0, max_value=127),
+    ),
+    max_size=300,
+)
+
+
+@given(ops=operations)
+def test_cache_matches_reference_model(ops):
+    cache = Cache(CacheConfig(size_bytes=8 * 64 * 2, ways=2))  # 8 sets x 2
+    reference = ReferenceCache(sets=8, ways=2)
+    for op, block in ops:
+        if op == "lookup":
+            assert (cache.lookup(block) is not None) == reference.lookup(block)
+        elif op == "fill":
+            got = cache.fill(block, BlockState())
+            expected = reference.fill(block)
+            got_victim = got[0] if got is not None else None
+            assert got_victim == expected
+        else:
+            assert (cache.invalidate(block) is not None) == \
+                reference.invalidate(block)
+    # Final contents agree exactly.
+    assert sorted(cache.resident_blocks()) == sorted(
+        block for entries in reference._data for block in entries
+    )

@@ -1,0 +1,165 @@
+"""The memory hierarchy: access paths, prefetch accounting, latencies."""
+
+from typing import List
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
+
+
+def tiny_config(num_cores=1) -> SystemConfig:
+    return SystemConfig(
+        num_cores=num_cores,
+        l1d=CacheConfig(size_bytes=1024, ways=2, hit_latency=4, mshr_entries=4),
+        llc=CacheConfig(size_bytes=8192, ways=4, hit_latency=15, mshr_entries=16),
+        physical_pages=1 << 16,
+    )
+
+
+class ScriptedPrefetcher(Prefetcher):
+    """Issues a fixed delta list relative to each accessed block."""
+
+    name = "scripted"
+
+    def __init__(self, deltas, address_map=None):
+        super().__init__(address_map)
+        self.deltas = list(deltas)
+        self.seen: List[AccessInfo] = []
+        self.evictions: List[int] = []
+
+    def on_access(self, info: AccessInfo) -> List[PrefetchRequest]:
+        self.seen.append(info)
+        return [PrefetchRequest(block=info.block + d) for d in self.deltas]
+
+    def on_eviction(self, block: int, was_used: bool) -> None:
+        self.evictions.append(block)
+
+
+class TestDemandPath:
+    def test_first_access_misses_everywhere(self):
+        hierarchy = MemoryHierarchy(tiny_config())
+        result = hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0)
+        assert result.llc_miss
+        assert not result.l1_hit
+        # L1 + LLC + DRAM zero-load.
+        assert result.latency >= 4 + 15 + 240
+
+    def test_repeat_hits_l1(self):
+        hierarchy = MemoryHierarchy(tiny_config())
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0)
+        result = hierarchy.access(0, pc=1, vaddr=0x1000, now=1000.0)
+        assert result.l1_hit
+        assert result.latency == 4
+
+    def test_llc_hit_after_l1_eviction(self):
+        config = tiny_config()
+        hierarchy = MemoryHierarchy(config)
+        hierarchy.access(0, pc=1, vaddr=0x0, now=0.0)
+        # Fill the L1 set of block 0 until it evicts (2 ways; L1 has 8 sets).
+        l1_sets = config.l1d.sets
+        for i in range(1, 3):
+            hierarchy.access(0, pc=1, vaddr=i * l1_sets * 64, now=float(i * 1000))
+        result = hierarchy.access(0, pc=1, vaddr=0x0, now=1e6)
+        assert result.llc_hit
+        assert not result.l1_hit
+
+    def test_mshr_back_pressure_stalls_fifth_miss(self):
+        hierarchy = MemoryHierarchy(tiny_config())  # 4 L1 MSHRs
+        latencies = [
+            hierarchy.access(0, pc=1, vaddr=i * 4096, now=0.0).latency
+            for i in range(5)
+        ]
+        mshr = hierarchy.stats.child("l1d0").child("mshr")
+        assert mshr.get("allocations") == 5
+        assert mshr.get("stalls") >= 1
+        # The stalled miss waits for an earlier one to retire first.
+        assert latencies[4] > latencies[0]
+
+    def test_write_counted(self):
+        hierarchy = MemoryHierarchy(tiny_config())
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0, is_write=True)
+        assert hierarchy.stats.child("llc").get("demand_writes") == 1
+
+
+class TestPrefetchAccounting:
+    def test_prefetch_fill_and_covered_hit(self):
+        pf = ScriptedPrefetcher([1])
+        hierarchy = MemoryHierarchy(tiny_config(), prefetchers=[pf])
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0)
+        llc = hierarchy.stats.child("llc")
+        assert llc.get("prefetches_issued") == 1
+        # Demand the prefetched next block much later (fill completed).
+        result = hierarchy.access(0, pc=1, vaddr=0x1040, now=1e6)
+        assert result.covered and not result.late
+        assert llc.get("covered") == 1
+
+    def test_late_prefetch_pays_partial_latency(self):
+        pf = ScriptedPrefetcher([1])
+        hierarchy = MemoryHierarchy(tiny_config(), prefetchers=[pf])
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0)
+        result = hierarchy.access(0, pc=1, vaddr=0x1040, now=20.0)
+        assert result.covered and result.late
+        # Cheaper than a fresh DRAM access, dearer than an LLC hit.
+        assert 15 < result.latency - 4 < 15 + 240 + 100
+
+    def test_second_use_is_plain_hit(self):
+        pf = ScriptedPrefetcher([1])
+        hierarchy = MemoryHierarchy(tiny_config(), prefetchers=[pf])
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0)
+        hierarchy.access(0, pc=1, vaddr=0x1040, now=1e6)
+        llc = hierarchy.stats.child("llc")
+        # Evict from L1 to force a second LLC access to the same block.
+        config = tiny_config()
+        for i in range(1, 4):
+            hierarchy.access(0, pc=1, vaddr=0x1040 + i * config.l1d.sets * 64,
+                             now=1e6 + i)
+        hierarchy.access(0, pc=1, vaddr=0x1040, now=2e6)
+        assert llc.get("covered") == 1  # not double-counted
+
+    def test_redundant_prefetch_dropped(self):
+        pf = ScriptedPrefetcher([0])  # always targets the trigger block
+        hierarchy = MemoryHierarchy(tiny_config(), prefetchers=[pf])
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0)
+        llc = hierarchy.stats.child("llc")
+        assert llc.get("prefetches_issued") == 0
+        assert llc.get("redundant_prefetches") == 1
+
+    def test_unused_evicted_prefetch_is_overprediction(self):
+        pf = ScriptedPrefetcher([100])  # prefetch something never used
+        config = tiny_config()
+        hierarchy = MemoryHierarchy(config, prefetchers=[pf])
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0)
+        # Thrash the LLC so the prefetched block is evicted unused.
+        for i in range(2, 600):
+            hierarchy.access(0, pc=2, vaddr=i * 4096, now=float(i) * 1e3)
+        assert hierarchy.stats.child("llc").get("overpredictions") >= 1
+
+    def test_evictions_reach_prefetcher(self):
+        pf = ScriptedPrefetcher([])
+        hierarchy = MemoryHierarchy(tiny_config(), prefetchers=[pf])
+        for i in range(600):
+            hierarchy.access(0, pc=1, vaddr=i * 4096, now=float(i) * 1e3)
+        assert pf.evictions  # LLC capacity forced evictions
+
+    def test_finalize_counts_resident_unused(self):
+        pf = ScriptedPrefetcher([5])
+        hierarchy = MemoryHierarchy(tiny_config(), prefetchers=[pf])
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0)
+        hierarchy.finalize()
+        assert hierarchy.stats.child("llc").get("prefetch_unused_at_end") == 1
+
+
+class TestConfigValidation:
+    def test_wrong_prefetcher_count_rejected(self):
+        pf = ScriptedPrefetcher([])
+        with pytest.raises(ValueError, match="prefetchers"):
+            MemoryHierarchy(tiny_config(num_cores=2), prefetchers=[pf])
+
+    def test_prefetcher_observes_only_llc_accesses(self):
+        pf = ScriptedPrefetcher([])
+        hierarchy = MemoryHierarchy(tiny_config(), prefetchers=[pf])
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=0.0)
+        hierarchy.access(0, pc=1, vaddr=0x1000, now=1000.0)  # L1 hit
+        assert len(pf.seen) == 1

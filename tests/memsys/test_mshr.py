@@ -1,0 +1,70 @@
+"""MSHR file: merging, back-pressure, expiry."""
+
+import pytest
+
+from repro.memsys.mshr import MshrFile
+
+
+class TestMerge:
+    def test_merge_returns_completion(self):
+        mshr = MshrFile(entries=4)
+        mshr.commit(block=10, finish=100.0)
+        assert mshr.merge(10, now=50.0) == 100.0
+
+    def test_completed_miss_does_not_merge(self):
+        mshr = MshrFile(entries=4)
+        mshr.commit(block=10, finish=100.0)
+        assert mshr.merge(10, now=150.0) is None
+
+    def test_unrelated_block_does_not_merge(self):
+        mshr = MshrFile(entries=4)
+        mshr.commit(block=10, finish=100.0)
+        assert mshr.merge(11, now=50.0) is None
+
+
+class TestBackPressure:
+    def test_reserve_without_pressure_is_immediate(self):
+        mshr = MshrFile(entries=2)
+        assert mshr.reserve(now=5.0) == 5.0
+
+    def test_full_file_stalls_until_oldest_retires(self):
+        mshr = MshrFile(entries=2)
+        mshr.commit(1, finish=100.0)
+        mshr.commit(2, finish=200.0)
+        start = mshr.reserve(now=10.0)
+        assert start == 100.0  # waits for the oldest outstanding miss
+        assert mshr.stats.get("stalls") == 1
+
+    def test_expired_entries_free_slots(self):
+        mshr = MshrFile(entries=1)
+        mshr.commit(1, finish=50.0)
+        assert mshr.reserve(now=60.0) == 60.0  # entry already expired
+
+    def test_outstanding_counts_live_entries(self):
+        mshr = MshrFile(entries=4)
+        mshr.commit(1, finish=100.0)
+        mshr.commit(2, finish=50.0)
+        assert mshr.outstanding(now=75.0) == 1
+        assert mshr.outstanding(now=150.0) == 0
+
+    def test_allocate_combines_reserve_and_commit(self):
+        mshr = MshrFile(entries=1)
+        mshr.commit(1, finish=100.0)
+        start = mshr.allocate(2, now=10.0, completion=310.0)
+        assert start == 100.0
+        # The completion was shifted by the 90-cycle stall.
+        assert mshr.merge(2, now=150.0) == 400.0
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MshrFile(entries=0)
+
+
+class TestReRegistration:
+    def test_stale_heap_entries_are_ignored(self):
+        """A block re-registered with a later finish must not be expired by
+        its stale earlier heap entry."""
+        mshr = MshrFile(entries=4)
+        mshr.commit(1, finish=50.0)
+        mshr.commit(1, finish=200.0)  # re-registered
+        assert mshr.merge(1, now=100.0) == 200.0

@@ -1,0 +1,85 @@
+"""Random first-touch translation: stability, isolation, determinism."""
+
+import pytest
+
+from repro.common.addresses import AddressMap
+from repro.memsys.translation import RandomFirstTouchTranslator
+
+
+def make_translator(pages=1024, seed=7) -> RandomFirstTouchTranslator:
+    return RandomFirstTouchTranslator(AddressMap(), physical_pages=pages, seed=seed)
+
+
+class TestMapping:
+    def test_same_page_maps_consistently(self):
+        translator = make_translator()
+        first = translator.translate(0, 0x1000)
+        second = translator.translate(0, 0x1040)
+        assert first >> 12 == second >> 12
+
+    def test_page_offset_preserved(self):
+        translator = make_translator()
+        paddr = translator.translate(0, 0x1234)
+        assert paddr & 0xFFF == 0x234
+
+    def test_spatial_structure_survives_within_page(self):
+        """Region offsets (the prefetcher's signal) survive translation."""
+        translator = make_translator()
+        amap = AddressMap()
+        vaddrs = [0x2000 + offset * 64 for offset in range(32)]
+        paddrs = [translator.translate(0, v) for v in vaddrs]
+        assert [amap.region_offset(p) for p in paddrs] == [
+            amap.region_offset(v) for v in vaddrs
+        ]
+
+    def test_different_pages_different_frames(self):
+        translator = make_translator()
+        a = translator.translate(0, 0x1000)
+        b = translator.translate(0, 0x2000)
+        assert a >> 12 != b >> 12
+
+    def test_cores_have_separate_address_spaces(self):
+        translator = make_translator()
+        a = translator.translate(0, 0x1000)
+        b = translator.translate(1, 0x1000)
+        assert a >> 12 != b >> 12
+
+    def test_mapped_pages_counter(self):
+        translator = make_translator()
+        translator.translate(0, 0x1000)
+        translator.translate(0, 0x1040)
+        translator.translate(0, 0x2000)
+        assert translator.mapped_pages == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_mapping(self):
+        a = make_translator(seed=3)
+        b = make_translator(seed=3)
+        for vaddr in (0x0, 0x5000, 0xABCDE000):
+            assert a.translate(0, vaddr) == b.translate(0, vaddr)
+
+    def test_different_seed_differs_somewhere(self):
+        a = make_translator(seed=3)
+        b = make_translator(seed=4)
+        results_a = [a.translate(0, v * 4096) for v in range(20)]
+        results_b = [b.translate(0, v * 4096) for v in range(20)]
+        assert results_a != results_b
+
+
+class TestExhaustion:
+    def test_frames_are_unique_until_exhaustion(self):
+        translator = make_translator(pages=8)
+        frames = {translator.translate(0, v * 4096) >> 12 for v in range(8)}
+        assert len(frames) == 8
+
+    def test_exhaustion_raises(self):
+        translator = make_translator(pages=2)
+        translator.translate(0, 0x0)
+        translator.translate(0, 0x1000)
+        with pytest.raises(RuntimeError, match="out of physical frames"):
+            translator.translate(0, 0x2000)
+
+    def test_rejects_nonpositive_pages(self):
+        with pytest.raises(ValueError):
+            RandomFirstTouchTranslator(AddressMap(), physical_pages=0)

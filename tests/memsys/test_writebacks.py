@@ -1,0 +1,67 @@
+"""Optional writeback modeling."""
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.memsys.hierarchy import MemoryHierarchy
+
+
+def tiny_config(model_writebacks: bool) -> SystemConfig:
+    return SystemConfig(
+        num_cores=1,
+        l1d=CacheConfig(size_bytes=1024, ways=2, hit_latency=4, mshr_entries=4),
+        llc=CacheConfig(size_bytes=8192, ways=4, hit_latency=15, mshr_entries=16),
+        physical_pages=1 << 16,
+        model_writebacks=model_writebacks,
+    )
+
+
+def thrash(hierarchy, writes_first=True):
+    """Write one block, then stream enough to evict it from the LLC."""
+    hierarchy.access(0, pc=1, vaddr=0x0, now=0.0, is_write=writes_first)
+    for i in range(1, 600):
+        hierarchy.access(0, pc=2, vaddr=i * 4096, now=float(i) * 1e3)
+
+
+def test_dirty_eviction_writes_back_when_enabled():
+    hierarchy = MemoryHierarchy(tiny_config(model_writebacks=True))
+    thrash(hierarchy)
+    assert hierarchy.stats.child("dram").get("writebacks") >= 1
+
+
+def test_clean_evictions_do_not_write_back():
+    hierarchy = MemoryHierarchy(tiny_config(model_writebacks=True))
+    thrash(hierarchy, writes_first=False)
+    assert hierarchy.stats.child("dram").get("writebacks") == 0
+
+
+def test_disabled_by_default():
+    config = tiny_config(model_writebacks=False)
+    assert not SystemConfig().model_writebacks
+    hierarchy = MemoryHierarchy(config)
+    thrash(hierarchy)
+    assert hierarchy.stats.child("dram").get("writebacks") == 0
+
+
+def test_write_hit_marks_block_dirty():
+    hierarchy = MemoryHierarchy(tiny_config(model_writebacks=True))
+    hierarchy.access(0, pc=1, vaddr=0x0, now=0.0)  # clean fill
+    # L1 eviction needed so the write reaches the LLC.
+    sets = hierarchy.config.l1d.sets
+    for i in range(1, 3):
+        hierarchy.access(0, pc=1, vaddr=i * sets * 64, now=float(i) * 100)
+    hierarchy.access(0, pc=1, vaddr=0x0, now=1e4, is_write=True)  # LLC hit
+    block = hierarchy.translator.translate(0, 0x0) >> 6
+    assert hierarchy.llc.lookup(block, touch=False).dirty
+
+
+def test_writeback_consumes_channel_bandwidth():
+    enabled = MemoryHierarchy(tiny_config(model_writebacks=True))
+    disabled = MemoryHierarchy(tiny_config(model_writebacks=False))
+    for hierarchy in (enabled, disabled):
+        for i in range(600):
+            hierarchy.access(0, pc=1, vaddr=i * 4096, now=float(i) * 40,
+                             is_write=True)
+    queue_on = enabled.stats.child("dram").get("queue_cycles")
+    queue_off = disabled.stats.child("dram").get("queue_cycles")
+    assert queue_on >= queue_off

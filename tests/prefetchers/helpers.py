@@ -1,0 +1,20 @@
+"""Shared helpers for feeding prefetchers synthetic access streams."""
+
+from typing import Iterable, List
+
+from repro.prefetchers.base import AccessInfo, Prefetcher
+
+
+def feed(pf: Prefetcher, blocks: Iterable[int], pc: int = 0x400) -> List[int]:
+    """Feed block accesses; returns every prefetched block, in order."""
+    out: List[int] = []
+    for time, block in enumerate(blocks):
+        info = AccessInfo(
+            pc=pc, address=block * 64, block=block, hit=False, time=float(time)
+        )
+        out.extend(req.block for req in pf.on_access(info))
+    return out
+
+
+def feed_one(pf: Prefetcher, block: int, pc: int = 0x400) -> List[int]:
+    return feed(pf, [block], pc=pc)

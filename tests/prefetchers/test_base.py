@@ -1,0 +1,60 @@
+"""The prefetcher base interface."""
+
+import pytest
+
+from repro.prefetchers.base import (
+    AccessInfo,
+    NullPrefetcher,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+def test_access_info_is_frozen():
+    info = AccessInfo(pc=1, address=64, block=1, hit=False, time=0.0)
+    with pytest.raises(AttributeError):
+        info.pc = 2  # type: ignore[misc]
+
+
+def test_prefetch_request_defaults():
+    req = PrefetchRequest(block=10)
+    assert req.confidence == 1.0
+
+
+def test_null_prefetcher_never_prefetches():
+    pf = NullPrefetcher()
+    info = AccessInfo(pc=1, address=64, block=1, hit=False, time=0.0)
+    assert pf.on_access(info) == []
+    assert pf.storage_bits == 0
+
+
+def test_base_on_access_is_abstract():
+    pf = Prefetcher()
+    info = AccessInfo(pc=1, address=64, block=1, hit=False, time=0.0)
+    with pytest.raises(NotImplementedError):
+        pf.on_access(info)
+
+
+def test_storage_kib_conversion():
+    class Fixed(Prefetcher):
+        name = "fixed"
+
+        def on_access(self, info):
+            return []
+
+        @property
+        def storage_bits(self):
+            return 8 * 1024 * 10  # 10 KiB
+
+    assert Fixed().storage_kib == pytest.approx(10.0)
+
+
+def test_clamp_degree_without_limit_passes_through():
+    pf = NullPrefetcher()
+    requests = [PrefetchRequest(block=i) for i in range(5)]
+    assert pf.clamp_degree(requests) == requests
+
+
+def test_default_address_map_is_paper_geometry():
+    pf = NullPrefetcher()
+    assert pf.address_map.region_size == 2048

@@ -1,0 +1,59 @@
+"""Best-Offset prefetcher: offset list, learning, selection, degree."""
+
+import pytest
+
+from repro.prefetchers.bop import BestOffsetPrefetcher, _low_prime_offsets
+
+from tests.prefetchers.helpers import feed
+
+
+class TestOffsetList:
+    def test_low_prime_offsets(self):
+        offsets = _low_prime_offsets(limit=20)
+        assert offsets == (1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20)
+
+    def test_default_list_has_52ish_entries(self):
+        # The original BOP uses 52 offsets in [1, 256].
+        assert len(_low_prime_offsets(256)) == 52
+
+
+class TestLearning:
+    def test_learns_stride_offset(self):
+        pf = BestOffsetPrefetcher(score_max=8, round_max=20)
+        # A pure stride-3 stream: offset 3 should win a learning phase.
+        feed(pf, [i * 3 for i in range(600)])
+        assert pf.stats.get("learning_phases") >= 1
+        assert pf.best_offset in (3, 6)  # 6 = 2 strides also predicts
+
+    def test_prefetch_uses_best_offset(self):
+        pf = BestOffsetPrefetcher(score_max=4, round_max=5)
+        feed(pf, [i * 2 for i in range(400)])
+        prefetched = feed(pf, [1000])
+        assert prefetched and prefetched[0] == 1000 + pf.best_offset
+
+    def test_random_stream_disables_prefetching(self):
+        import random
+
+        rng = random.Random(1)
+        pf = BestOffsetPrefetcher(score_max=31, round_max=3, bad_score=2)
+        feed(pf, [rng.randrange(10**9) for _ in range(400)])
+        # At least one learning phase concluded; scores on random traffic
+        # are ~0, so prefetching turns off.
+        assert pf.stats.get("learning_phases") >= 1
+        assert not pf._prefetch_enabled
+
+
+class TestDegree:
+    def test_degree_multiplies_offset(self):
+        pf = BestOffsetPrefetcher(degree=3)
+        pf.best_offset = 5
+        prefetched = feed(pf, [100])
+        assert prefetched == [105, 110, 115]
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            BestOffsetPrefetcher(degree=0)
+
+
+def test_storage_positive():
+    assert BestOffsetPrefetcher().storage_bits > 0

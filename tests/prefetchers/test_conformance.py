@@ -1,0 +1,75 @@
+"""Conformance suite: invariants every registered prefetcher must satisfy.
+
+Parametrised over the whole zoo; any new prefetcher added to the
+registry is automatically held to the same contract.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetchers.base import AccessInfo, PrefetchRequest
+from repro.prefetchers.registry import available_prefetchers, make_prefetcher
+
+ALL = sorted(available_prefetchers())
+
+
+def make_info(block: int, pc: int = 0x400, time: float = 0.0) -> AccessInfo:
+    return AccessInfo(
+        pc=pc, address=block * 64, block=block, hit=False, time=time
+    )
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestContract:
+    def test_returns_prefetch_requests(self, name):
+        pf = make_prefetcher(name)
+        for block in range(64):
+            out = pf.on_access(make_info(block))
+            assert isinstance(out, list)
+            assert all(isinstance(req, PrefetchRequest) for req in out)
+
+    def test_deterministic_given_same_stream(self, name):
+        a = make_prefetcher(name)
+        b = make_prefetcher(name)
+        stream = [random.Random(7).randrange(4096) for _ in range(300)]
+        out_a = [tuple(r.block for r in a.on_access(make_info(x)))
+                 for x in stream]
+        out_b = [tuple(r.block for r in b.on_access(make_info(x)))
+                 for x in stream]
+        assert out_a == out_b
+
+    def test_eviction_hook_tolerates_unknown_blocks(self, name):
+        pf = make_prefetcher(name)
+        pf.on_eviction(123456, was_used=False)  # must not raise
+
+    def test_prefetch_fill_hook_tolerates_any_block(self, name):
+        pf = make_prefetcher(name)
+        pf.on_prefetch_fill(42, time=10.0)  # must not raise
+
+    def test_storage_bits_nonnegative_and_stable(self, name):
+        pf = make_prefetcher(name)
+        before = pf.storage_bits
+        for block in range(128):
+            pf.on_access(make_info(block))
+        assert pf.storage_bits == before >= 0
+
+    def test_reset_then_reuse(self, name):
+        pf = make_prefetcher(name)
+        for block in range(64):
+            pf.on_access(make_info(block))
+        pf.reset()
+        out = pf.on_access(make_info(5000))
+        assert isinstance(out, list)
+
+
+@settings(deadline=None, max_examples=10)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=1 << 30),
+                       min_size=1, max_size=200))
+@pytest.mark.parametrize("name", ALL)
+def test_never_crashes_on_arbitrary_streams(name, blocks):
+    pf = make_prefetcher(name)
+    for time, block in enumerate(blocks):
+        requests = pf.on_access(make_info(block, time=float(time)))
+        assert len(requests) < 1000  # no unbounded fan-out

@@ -1,0 +1,72 @@
+"""The prefetcher registry."""
+
+import pytest
+
+from repro.common.addresses import AddressMap
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.registry import (
+    available_prefetchers,
+    make_prefetcher,
+    register,
+)
+
+
+EXPECTED = {
+    "none", "nextline", "stride", "sandbox", "bop", "spp", "vldp",
+    "ampm", "sms", "bingo", "multi-event",
+}
+
+
+def test_all_builtins_registered():
+    assert EXPECTED <= set(available_prefetchers())
+
+
+def test_construction_by_name():
+    for name in EXPECTED:
+        pf = make_prefetcher(name)
+        assert isinstance(pf, Prefetcher)
+
+
+def test_name_is_case_insensitive():
+    assert make_prefetcher("BINGO").name == "bingo"
+
+
+def test_kwargs_forwarded():
+    pf = make_prefetcher("bop", degree=32)
+    assert pf.degree == 32
+
+
+def test_address_map_forwarded():
+    amap = AddressMap(region_size=4096)
+    pf = make_prefetcher("bingo", address_map=amap)
+    assert pf.blocks_per_region == 64
+
+
+def test_unknown_name_raises_with_choices():
+    with pytest.raises(ValueError, match="unknown prefetcher"):
+        make_prefetcher("does-not-exist")
+
+
+def test_instances_are_independent():
+    a = make_prefetcher("stride")
+    b = make_prefetcher("stride")
+    assert a is not b
+    assert a._table is not b._table
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register("bingo", lambda **kwargs: None)
+
+
+def test_sfp_is_the_conservative_single_event_design():
+    """SFP (reference [17]): PC+Address only - accurate, no generalisation."""
+    from repro.core.events import EventKind
+
+    pf = make_prefetcher("sfp")
+    assert pf.name == "sfp"
+    assert pf.kinds == (EventKind.PC_ADDRESS,)
+
+
+def test_new_baselines_registered():
+    assert {"ghb", "markov", "sfp"} <= set(available_prefetchers())

@@ -1,0 +1,45 @@
+"""reset() drops learned state on every stateful prefetcher."""
+
+import pytest
+
+from repro.prefetchers.registry import make_prefetcher
+
+from tests.prefetchers.helpers import feed
+
+STATEFUL = ["stride", "sandbox", "bop", "spp", "vldp", "ampm", "sms",
+            "bingo", "multi-event"]
+
+
+def train(pf):
+    """A burst of sequential traffic that teaches every design something."""
+    feed(pf, list(range(64)))
+    pf.on_eviction(0, was_used=True)
+
+
+@pytest.mark.parametrize("name", STATEFUL)
+def test_reset_restores_cold_behaviour(name):
+    """After reset, the first accesses behave exactly like a fresh instance."""
+    trained = make_prefetcher(name)
+    train(trained)
+    trained.reset()
+
+    fresh = make_prefetcher(name)
+    probe = list(range(1000, 1010))
+    assert feed(trained, probe) == feed(fresh, probe)
+
+
+@pytest.mark.parametrize("name", STATEFUL)
+def test_reset_clears_stats(name):
+    pf = make_prefetcher(name)
+    train(pf)
+    pf.reset()
+    assert all(value == 0 for value in pf.stats.counters().values())
+
+
+def test_bingo_reset_empties_structures():
+    pf = make_prefetcher("bingo")
+    train(pf)
+    pf.reset()
+    assert len(pf.history) == 0
+    assert len(pf.filter_table) == 0
+    assert len(pf.accumulation_table) == 0

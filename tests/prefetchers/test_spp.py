@@ -1,0 +1,72 @@
+"""Signature Path Prefetcher: signatures, lookahead, throttling."""
+
+import pytest
+
+from repro.prefetchers.spp import SppPrefetcher, advance_signature
+
+from tests.prefetchers.helpers import feed
+
+
+class TestSignature:
+    def test_advance_is_deterministic(self):
+        assert advance_signature(0, 3) == advance_signature(0, 3)
+
+    def test_stays_in_12_bits(self):
+        sig = 0
+        for delta in (1, -5, 63, -63):
+            sig = advance_signature(sig, delta)
+            assert 0 <= sig < 4096
+
+    def test_order_matters(self):
+        assert advance_signature(advance_signature(0, 1), 2) != advance_signature(
+            advance_signature(0, 2), 1
+        )
+
+
+class TestLearning:
+    def test_learns_unit_stride_within_page(self):
+        pf = SppPrefetcher()
+        # Page 0: blocks 0..19 sequential (deltas of +1).
+        prefetched = feed(pf, list(range(20)))
+        assert prefetched  # lookahead fired
+        assert all(0 <= b < 64 for b in prefetched)  # stays in page
+
+    def test_prefetches_ahead_of_stream(self):
+        pf = SppPrefetcher()
+        prefetched = feed(pf, list(range(16)))
+        assert max(prefetched) > 15
+
+    def test_lookahead_depth_bounded(self):
+        pf = SppPrefetcher(max_depth=2)
+        prefetched = feed(pf, list(range(16)))
+        assert max(prefetched) <= 15 + 2
+
+    def test_low_threshold_prefetches_deeper(self):
+        shallow = SppPrefetcher(confidence_threshold=0.9, max_depth=32)
+        deep = SppPrefetcher(confidence_threshold=0.01, max_depth=32)
+        stream = list(range(30))
+        count_shallow = len(feed(shallow, stream))
+        count_deep = len(feed(deep, stream))
+        assert count_deep >= count_shallow
+
+    def test_does_not_cross_page_boundary(self):
+        pf = SppPrefetcher(confidence_threshold=0.01, max_depth=32)
+        # Blocks 50..63 of page 0 (page = 64 blocks).
+        prefetched = feed(pf, list(range(50, 64)))
+        assert all(block < 64 for block in prefetched)
+
+    def test_filter_suppresses_duplicates(self):
+        pf = SppPrefetcher()
+        first = feed(pf, list(range(12)))
+        again = feed(pf, list(range(12, 16)))
+        assert not (set(first) & set(again))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("threshold", [0.0, 1.5, -0.2])
+    def test_rejects_bad_threshold(self, threshold):
+        with pytest.raises(ValueError):
+            SppPrefetcher(confidence_threshold=threshold)
+
+    def test_storage_positive(self):
+        assert SppPrefetcher().storage_bits > 0

@@ -1,0 +1,47 @@
+"""PC-stride prefetcher."""
+
+import pytest
+
+from repro.prefetchers.stride import StridePrefetcher
+
+from tests.prefetchers.helpers import feed
+
+
+def test_learns_constant_stride():
+    pf = StridePrefetcher(degree=2)
+    prefetched = feed(pf, [0, 4, 8, 12, 16])
+    # After confidence builds (2 confirmations), stride-4 extrapolation.
+    assert 20 in prefetched and 24 in prefetched
+
+
+def test_no_prediction_before_confidence(capsys=None):
+    pf = StridePrefetcher(degree=1)
+    assert feed(pf, [0, 4]) == []  # one observation is not enough
+
+
+def test_distinguishes_pcs():
+    pf = StridePrefetcher(degree=1)
+    feed(pf, [0, 4, 8, 12], pc=0x100)
+    # A different pc starts cold.
+    assert feed(pf, [1000], pc=0x200) == []
+
+
+def test_adapts_to_new_stride():
+    pf = StridePrefetcher(degree=1)
+    feed(pf, [0, 4, 8, 12])  # learn stride 4
+    prefetched = feed(pf, [13, 14, 15, 16, 17])  # switch to stride 1
+    assert prefetched[-1] == 18
+
+
+def test_zero_stride_predicts_nothing():
+    pf = StridePrefetcher(degree=1)
+    assert feed(pf, [5, 5, 5, 5]) == []
+
+
+def test_rejects_bad_degree():
+    with pytest.raises(ValueError):
+        StridePrefetcher(degree=0)
+
+
+def test_storage_positive():
+    assert StridePrefetcher().storage_bits > 0

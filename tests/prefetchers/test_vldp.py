@@ -1,0 +1,57 @@
+"""Variable Length Delta Prefetcher: DPT cascade, OPT, multi-degree."""
+
+import pytest
+
+from repro.prefetchers.vldp import VldpPrefetcher
+
+from tests.prefetchers.helpers import feed
+
+
+class TestDeltaLearning:
+    def test_learns_repeating_delta(self):
+        pf = VldpPrefetcher(degree=1)
+        prefetched = feed(pf, [0, 2, 4, 6, 8])
+        assert prefetched and prefetched[-1] == 10
+
+    def test_learns_alternating_pattern_with_history(self):
+        """The delta sequence +1,+3,+1,+3 needs 2-delta history: after
+        (+3,+1) predict +3, after (+1,+3) predict +1."""
+        pf = VldpPrefetcher(degree=1)
+        stream = [0]
+        for _ in range(8):
+            stream.append(stream[-1] + 1)
+            stream.append(stream[-1] + 3)
+        prefetched = feed(pf, stream)
+        # Last access followed deltas (+1,+3); next delta should be +1.
+        assert prefetched[-1] == stream[-1] + 1
+
+    def test_multi_degree_extrapolates(self):
+        pf = VldpPrefetcher(degree=4)
+        feed(pf, [0, 1, 2, 3])  # train
+        prefetched = feed(pf, [4])  # one access, four lookahead steps
+        assert prefetched == [5, 6, 7, 8]
+
+    def test_stays_within_page(self):
+        pf = VldpPrefetcher(degree=32)
+        prefetched = feed(pf, list(range(56, 64)))  # near page end
+        assert all(block < 64 for block in prefetched)
+
+
+class TestOffsetPredictionTable:
+    def test_first_delta_predicted_for_new_page(self):
+        pf = VldpPrefetcher(degree=1)
+        # Train pages 0 and 1: first access at offset 0, first delta +5.
+        feed(pf, [0, 5])
+        feed(pf, [64, 69])
+        # New page 2, first access at offset 0: OPT predicts +5.
+        prefetched = feed(pf, [128])
+        assert prefetched == [133]
+
+
+class TestValidation:
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            VldpPrefetcher(degree=0)
+
+    def test_storage_positive(self):
+        assert VldpPrefetcher().storage_bits > 0

@@ -1,0 +1,63 @@
+"""Cross-counter invariants that must hold for any run.
+
+These catch double-counting bugs anywhere in the access path: every LLC
+demand access is exactly one of {hit, covered, miss}; DRAM reads account
+for every miss and issued prefetch; covered misses never exceed issued
+prefetches plus what warm-up left behind.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.sim.runner import run_simulation
+from repro.workloads.registry import WORKLOAD_NAMES
+
+SYSTEM = SystemConfig(
+    num_cores=4,
+    l1d=CacheConfig(size_bytes=8 * 1024, ways=4, hit_latency=4, mshr_entries=8),
+    llc=CacheConfig(size_bytes=256 * 1024, ways=16, hit_latency=15,
+                    mshr_entries=32),
+)
+RUN = dict(system=SYSTEM, instructions_per_core=15_000,
+           warmup_instructions=0, scale=0.03125)
+
+CASES = [(w, p) for w in ("data_serving", "em3d", "mix1")
+         for p in ("none", "bop", "sms", "bingo")]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        (w, p): run_simulation(w, prefetcher=p, **RUN) for w, p in CASES
+    }
+
+
+@pytest.mark.parametrize("case", CASES, ids=str)
+def test_demand_access_partition(results, case):
+    """hits + covered + misses == demand accesses (with zero warm-up)."""
+    r = results[case]
+    assert (
+        r.demand_hits + r.covered + r.demand_misses == r.demand_accesses
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=str)
+def test_dram_reads_account_for_misses_and_prefetches(results, case):
+    r = results[case]
+    assert r.dram_reads == r.demand_misses + r.prefetches_issued
+
+
+@pytest.mark.parametrize("case", CASES, ids=str)
+def test_prefetch_conservation(results, case):
+    """Every issued prefetch is used, evicted unused, or still resident."""
+    r = results[case]
+    assert (
+        r.covered + r.overpredictions + r.prefetch_unused_at_end
+        == r.prefetches_issued
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=str)
+def test_row_hits_bounded(results, case):
+    r = results[case]
+    assert 0 <= r.dram_row_hits <= r.dram_reads

@@ -1,0 +1,104 @@
+"""The simulation engine: budgets, warm-up windows, determinism."""
+
+import pytest
+
+from repro.common.config import small_system
+from repro.sim.engine import SimulationEngine, SimulationParams
+from repro.sim.runner import run_simulation
+from repro.workloads.registry import make_workload
+
+
+def small_run(prefetcher="none", instructions=4000, warmup=1000, seed=1):
+    return run_simulation(
+        make_workload("data_serving", seed=seed, scale=0.02),
+        prefetcher=prefetcher,
+        system=small_system(num_cores=4),
+        instructions_per_core=instructions,
+        warmup_instructions=warmup,
+    )
+
+
+class TestBudgets:
+    def test_exact_instruction_counts(self):
+        result = small_run()
+        assert all(core.instructions == 3000 for core in result.cores)
+        assert result.instructions == 12000
+
+    def test_zero_warmup_allowed(self):
+        result = small_run(warmup=0)
+        assert all(core.instructions == 4000 for core in result.cores)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationParams(instructions_per_core=0)
+        with pytest.raises(ValueError):
+            SimulationParams(instructions_per_core=100, warmup_instructions=100)
+
+    def test_core_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="core"):
+            SimulationEngine(
+                make_workload("em3d", scale=0.02),
+                system=small_system(num_cores=1),
+            )
+
+
+class TestMeasurementWindow:
+    def test_counters_are_window_deltas(self):
+        """Doubling the warm-up must not inflate measured counters."""
+        short = small_run(instructions=4000, warmup=500)
+        long = small_run(instructions=4500, warmup=1000)
+        # Same measured instruction count; miss counts comparable.
+        assert short.instructions == long.instructions
+        assert long.demand_misses <= short.demand_misses * 1.5
+
+    def test_cycles_are_positive(self):
+        result = small_run()
+        assert all(core.cycles > 0 for core in result.cores)
+        assert result.throughput > 0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_results(self):
+        a = small_run(prefetcher="bingo", seed=3)
+        b = small_run(prefetcher="bingo", seed=3)
+        assert a.summary() == b.summary()
+        assert [c.cycles for c in a.cores] == [c.cycles for c in b.cores]
+
+    def test_different_seed_differs(self):
+        a = small_run(seed=3)
+        b = small_run(seed=4)
+        assert [c.cycles for c in a.cores] != [c.cycles for c in b.cores]
+
+
+class TestPrefetcherWiring:
+    def test_prefetcher_counters_exported(self):
+        result = small_run(prefetcher="bingo")
+        assert "triggers" in result.prefetcher_counters
+        assert result.prefetcher_counters["triggers"] > 0
+
+    def test_storage_bits_reported(self):
+        result = small_run(prefetcher="bingo")
+        assert result.prefetcher_storage_bits > 0
+
+    def test_baseline_reports_zero_prefetches(self):
+        result = small_run(prefetcher="none")
+        assert result.prefetches_issued == 0
+        assert result.covered == 0
+
+    def test_explicit_prefetcher_instances(self):
+        from repro.prefetchers.nextline import NextLinePrefetcher
+
+        system = small_system(num_cores=4)
+        workload = make_workload("streaming", scale=0.02)
+        prefetchers = [
+            NextLinePrefetcher(system.address_map) for _ in range(4)
+        ]
+        engine = SimulationEngine(
+            workload,
+            prefetcher="nextline",
+            system=system,
+            params=SimulationParams(2000, 500),
+            prefetchers=prefetchers,
+        )
+        result = engine.run()
+        assert result.prefetches_issued > 0

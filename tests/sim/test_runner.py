@@ -1,0 +1,75 @@
+"""The high-level runner API."""
+
+import pytest
+
+from repro.common.config import small_system
+from repro.sim.runner import compare_prefetchers, run_simulation
+from repro.sim.sweep import sweep_prefetcher_parameter
+
+
+def test_run_by_workload_name():
+    result = run_simulation(
+        "streaming",
+        prefetcher="none",
+        system=small_system(num_cores=4),
+        instructions_per_core=2000,
+        warmup_instructions=500,
+        scale=0.02,
+    )
+    assert result.workload == "streaming"
+    assert result.prefetcher == "none"
+
+
+def test_prefetcher_kwargs_forwarded():
+    result = run_simulation(
+        "streaming",
+        prefetcher="nextline",
+        system=small_system(num_cores=4),
+        instructions_per_core=2000,
+        warmup_instructions=0,
+        scale=0.02,
+        prefetcher_kwargs={"degree": 2},
+    )
+    assert result.prefetches_issued > 0
+
+
+def test_compare_includes_baseline():
+    results = compare_prefetchers(
+        "streaming",
+        ["nextline"],
+        system=small_system(num_cores=4),
+        instructions_per_core=2000,
+        warmup_instructions=500,
+        scale=0.02,
+    )
+    assert set(results) == {"none", "nextline"}
+    assert results["none"].prefetches_issued == 0
+
+
+def test_compare_without_baseline():
+    results = compare_prefetchers(
+        "streaming",
+        ["nextline"],
+        system=small_system(num_cores=4),
+        instructions_per_core=2000,
+        warmup_instructions=500,
+        scale=0.02,
+        include_baseline=False,
+    )
+    assert set(results) == {"nextline"}
+
+
+def test_sweep_parameter():
+    results = sweep_prefetcher_parameter(
+        "streaming",
+        prefetcher="nextline",
+        parameter="degree",
+        values=[1, 2],
+        system=small_system(num_cores=4),
+        instructions_per_core=2000,
+        warmup_instructions=0,
+        seed=5,
+        scale=0.02,
+    )
+    assert list(results) == [1, 2]
+    assert results[2].prefetches_issued >= results[1].prefetches_issued

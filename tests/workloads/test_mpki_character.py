@@ -1,0 +1,75 @@
+"""Workload character: the properties the generators promise.
+
+These run tiny simulations and assert the *relative* characteristics
+Table II implies — which workload misses most, which is pointer-bound,
+which is scan-dominated — rather than absolute MPKIs (EXPERIMENTS.md
+records those at experiment scale).
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.sim.runner import run_simulation
+
+SYSTEM = SystemConfig(
+    num_cores=4,
+    l1d=CacheConfig(size_bytes=8 * 1024, ways=4, hit_latency=4, mshr_entries=8),
+    llc=CacheConfig(size_bytes=256 * 1024, ways=16, hit_latency=15,
+                    mshr_entries=32),
+)
+RUN = dict(system=SYSTEM, instructions_per_core=20_000,
+           warmup_instructions=5_000, scale=0.03125)
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    names = ["data_serving", "sat_solver", "streaming", "zeus", "em3d",
+             "mix1"]
+    return {name: run_simulation(name, "none", **RUN) for name in names}
+
+
+def test_em3d_is_the_miss_leader(baselines):
+    em3d = baselines["em3d"].mpki
+    assert all(
+        em3d >= result.mpki
+        for name, result in baselines.items()
+        if name != "em3d"
+    )
+
+
+def test_every_workload_misses(baselines):
+    for name, result in baselines.items():
+        assert result.mpki > 0.5, name
+
+
+def test_mixes_are_memory_intensive(baselines):
+    assert baselines["mix1"].mpki > baselines["streaming"].mpki
+
+
+def test_serialisation_shows_in_throughput(baselines):
+    """Pointer-bound workloads (zeus, em3d chains) run at lower IPC than
+    the overlap-friendly streaming workload."""
+    assert baselines["streaming"].throughput > baselines["zeus"].throughput
+    assert baselines["streaming"].throughput > baselines["em3d"].throughput
+
+
+def test_dram_traffic_tracks_misses(baselines):
+    for name, result in baselines.items():
+        assert result.dram_reads == result.demand_misses, name
+
+
+def test_streaming_regions_are_consumed_contiguously():
+    """Streaming's 2 KB chunked reads: consecutive memory accesses within
+    a service slot walk one region block by block."""
+    import itertools
+
+    from repro.workloads.registry import make_workload
+
+    workload = make_workload("streaming", scale=0.05)
+    records = [
+        r for r in itertools.islice(workload.core_stream(0), 40_000) if r.is_mem
+    ][:64]
+    regions = [r.address // 2048 for r in records]
+    # The first 32 accesses stay in one region, then the slot moves on.
+    assert len(set(regions[:32])) == 1
+    assert regions[32] != regions[0]

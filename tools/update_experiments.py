@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Inject regenerated tables from bench_output.txt into EXPERIMENTS.md.
+
+EXPERIMENTS.md contains ``<!-- TAG -->`` markers; for each, this tool
+finds the corresponding table in a bench run's captured output and
+places it (as a fenced code block) immediately after the marker,
+replacing any block already there — so the file can be refreshed after
+every full bench run with:
+
+    pytest benchmarks/ --benchmark-only -s | tee bench_output.txt
+    python tools/update_experiments.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: marker -> title line prefix in the bench output
+SECTIONS = {
+    "TABLE1": "Table I —",
+    "TABLE2": "Table II —",
+    "FIG2": "Fig. 2 —",
+    "FIG3": "Fig. 3 —",
+    "FIG4": "Fig. 4 —",
+    "FIG6": "Fig. 6 —",
+    "FIG7AVG": "Fig. 7 —",
+    "FIG8": "Fig. 8 —",
+    "FIG9": "Fig. 9 —",
+    "FIG10": "Fig. 10 —",
+}
+
+ABLATION_TITLES = ("Ablation —",)
+
+
+def extract_tables(bench_text: str):
+    """Split the bench output into {title_line: table_text} chunks."""
+    titles = ("Table ", "Fig. ", "Ablation —")
+    tables = {}
+    lines = bench_text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith(titles):
+            chunk = [line]
+            i += 1
+            while (
+                i < len(lines)
+                and lines[i].strip() not in (".", "F", "")
+                and not lines[i].startswith(titles)
+            ):
+                chunk.append(lines[i])
+                i += 1
+            tables[line] = "\n".join(chunk)
+        else:
+            i += 1
+    return tables
+
+
+def _filter_fig7(table: str) -> str:
+    """Keep the header and the per-prefetcher average rows of Fig. 7."""
+    lines = table.splitlines()
+    kept = lines[:3] + [l for l in lines[3:] if l.lstrip().startswith("average")]
+    kept.append("(per-workload rows: see bench_output.txt)")
+    return "\n".join(kept)
+
+
+def inject(markdown: str, marker: str, table: str) -> str:
+    """Place ``table`` in a fenced block right after ``<!-- marker -->``."""
+    tag = f"<!-- {marker} -->"
+    if tag not in markdown:
+        raise SystemExit(f"marker {tag} missing from EXPERIMENTS.md")
+    block = f"{tag}\n```\n{table}\n```"
+    pattern = re.compile(re.escape(tag) + r"(\n```.*?```)?", re.DOTALL)
+    return pattern.sub(lambda _m: block, markdown, count=1)
+
+
+def main() -> int:
+    bench_path = REPO / "bench_output.txt"
+    experiments_path = REPO / "EXPERIMENTS.md"
+    tables = extract_tables(bench_path.read_text())
+    markdown = experiments_path.read_text()
+
+    for marker, prefix in SECTIONS.items():
+        matches = [t for title, t in tables.items() if title.startswith(prefix)]
+        if not matches:
+            print(f"warning: no table for {marker} ({prefix!r})",
+                  file=sys.stderr)
+            continue
+        table = matches[0]
+        if marker == "FIG7AVG":
+            table = _filter_fig7(table)
+        markdown = inject(markdown, marker, table)
+
+    ablations = [t for title, t in tables.items()
+                 if title.startswith(ABLATION_TITLES)]
+    if ablations:
+        markdown = inject(markdown, "ABLATIONS", "\n\n".join(ablations))
+
+    experiments_path.write_text(markdown)
+    print(f"EXPERIMENTS.md updated from {bench_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
