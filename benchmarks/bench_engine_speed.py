@@ -1,0 +1,183 @@
+"""Engine/executor speed benchmark: points/sec, ns/access, speedups.
+
+Not a paper figure: tracks the simulator's own performance as a number
+rather than a claim.  Three measurements over a Fig. 8-style
+(workload × prefetcher) matrix:
+
+* **serial** — every point through the in-process path (the baseline);
+* **parallel** — the same matrix through ``Executor(workers=N)``;
+* **cached** — the same matrix again, now answered by the on-disk cache.
+
+plus the serial inner-loop rate (simulated instructions/sec and ns per
+memory access).  Run as a script for the full report::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py --workers 4
+
+or through pytest (small matrix, one round)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_speed.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    EXPERIMENT_SCALE,
+    PAPER_PREFETCHERS,
+    default_params,
+    experiment_system,
+)
+from repro.sim.executor import Executor, ResultCache, SimJob, execute_job
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def matrix_jobs(
+    workloads: Optional[List[str]] = None,
+    prefetchers: Optional[List[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> List[SimJob]:
+    """A Fig. 8-style job matrix: baseline + prefetchers × workloads."""
+    params = default_params()
+    instructions = instructions or params.instructions_per_core
+    warmup = warmup if warmup is not None else params.warmup_instructions
+    workloads = workloads or list(WORKLOAD_NAMES)
+    prefetchers = prefetchers or ["none"] + list(PAPER_PREFETCHERS)
+    return [
+        SimJob.build(
+            workload,
+            prefetcher=prefetcher,
+            system=experiment_system(),
+            instructions_per_core=instructions,
+            warmup_instructions=warmup,
+            scale=EXPERIMENT_SCALE,
+        )
+        for workload in workloads
+        for prefetcher in prefetchers
+    ]
+
+
+def _timed(executor: Executor, jobs: List[SimJob]) -> float:
+    start = time.perf_counter()
+    executor.run_jobs(jobs)
+    return time.perf_counter() - start
+
+
+def measure_matrix(
+    jobs: List[SimJob], workers: int, cache_dir: str
+) -> Dict[str, float]:
+    """Serial vs parallel vs cache-hit wall-clock over one job matrix."""
+    serial_s = _timed(Executor(workers=1), jobs)
+    cache = ResultCache(cache_dir)
+    parallel_s = _timed(Executor(workers=workers, cache=cache), jobs)
+    cached_executor = Executor(workers=workers, cache=cache)
+    cached_s = _timed(cached_executor, jobs)
+    assert cached_executor.stats.get("cache_hits") == len(jobs)
+    return {
+        "points": len(jobs),
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "cached_s": round(cached_s, 3),
+        "serial_points_per_s": round(len(jobs) / serial_s, 3),
+        "parallel_points_per_s": round(len(jobs) / parallel_s, 3),
+        "cached_points_per_s": round(len(jobs) / cached_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "cached_speedup": round(serial_s / cached_s, 2),
+    }
+
+
+def measure_inner_loop(
+    instructions: int = 60_000, warmup: int = 20_000
+) -> Dict[str, float]:
+    """Serial inner-loop rate: instructions/sec and ns per memory access."""
+    job = SimJob.build(
+        "streaming",
+        prefetcher="bingo",
+        system=experiment_system(),
+        instructions_per_core=instructions,
+        warmup_instructions=warmup,
+        scale=EXPERIMENT_SCALE,
+    )
+    start = time.perf_counter()
+    result = execute_job(job)
+    elapsed = time.perf_counter() - start
+    raw = result.raw_stats["memsys"]
+    accesses = sum(
+        group["accesses"]
+        for name, group in raw.items()
+        if name.startswith("l1d")
+    )
+    total_instructions = instructions * len(result.cores)
+    return {
+        "inner_elapsed_s": round(elapsed, 3),
+        "instructions_per_s": round(total_instructions / elapsed),
+        "ns_per_instruction": round(elapsed / total_instructions * 1e9, 1),
+        "ns_per_access": round(elapsed / accesses * 1e9, 1),
+    }
+
+
+def run_bench(
+    workers: int = 4,
+    workloads: Optional[List[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Dict[str, float]:
+    jobs = matrix_jobs(
+        workloads=workloads, instructions=instructions, warmup=warmup
+    )
+    report: Dict[str, float] = {"cpu_count": os.cpu_count() or 1}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        report.update(measure_matrix(jobs, workers, tmp))
+    report.update(measure_inner_loop())
+    return report
+
+
+# -- pytest entry point (small matrix, one round) ---------------------------
+
+
+def test_engine_speed(benchmark):
+    jobs = matrix_jobs(
+        workloads=["streaming", "em3d"],
+        prefetchers=["none", "bingo"],
+        instructions=6000,
+        warmup=2000,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        report = benchmark.pedantic(
+            lambda: measure_matrix(jobs, workers=2, cache_dir=tmp),
+            rounds=1,
+            iterations=1,
+        )
+    benchmark.extra_info["report"] = report
+    print("\n" + json.dumps(report, indent=2))
+    assert report["cached_speedup"] >= 1.0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="subset of workloads (default: all of Table II)")
+    parser.add_argument("--instructions", type=int, default=None)
+    parser.add_argument("--warmup", type=int, default=None)
+    args = parser.parse_args(argv)
+    report = run_bench(
+        workers=args.workers,
+        workloads=args.workloads,
+        instructions=args.instructions,
+        warmup=args.warmup,
+    )
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

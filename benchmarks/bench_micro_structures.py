@@ -7,8 +7,9 @@ experiment).
 
 import random
 
-from repro.common.bitvec import Footprint
+from repro.common.bitvec import Footprint, vote
 from repro.common.config import CacheConfig
+from repro.common.stats import StatGroup
 from repro.core.history import BingoHistoryTable
 from repro.memsys.cache import BlockState, Cache
 
@@ -44,3 +45,45 @@ def test_llc_access_throughput(benchmark):
                 cache.fill(block, BlockState())
 
     benchmark(churn)
+
+
+def test_vote_throughput(benchmark):
+    """The paper's 20 % voting rule over realistic short-match sets."""
+    rng = random.Random(0)
+    groups = [
+        [Footprint(32, rng.getrandbits(32)) for _ in range(rng.randrange(2, 16))]
+        for _ in range(1000)
+    ]
+
+    def vote_all():
+        total = 0
+        for footprints in groups:
+            total += vote(footprints, 0.20).popcount()
+        return total
+
+    benchmark(vote_all)
+
+
+def test_stat_add_throughput(benchmark):
+    """String-keyed StatGroup.add — the slow path the handles replace."""
+    stats = StatGroup("bench")
+
+    def add_many():
+        for _ in range(10_000):
+            stats.add("counter")
+        return stats.get("counter")
+
+    benchmark(add_many)
+
+
+def test_stat_counter_handle_throughput(benchmark):
+    """Hoisted StatCounter cell — the fast path used by the memsys loop."""
+    stats = StatGroup("bench")
+    cell = stats.counter("counter")
+
+    def add_many():
+        for _ in range(10_000):
+            cell.value += 1
+        return stats.get("counter")
+
+    benchmark(add_many)

@@ -5,7 +5,11 @@ Subcommands:
 * ``list`` — available workloads and prefetchers.
 * ``run`` — one workload under one prefetcher; prints the summary.
 * ``compare`` — one workload under several prefetchers + baseline.
-* ``experiment`` — regenerate a paper table/figure by id (e.g. ``fig8``).
+* ``sweep`` — one (workload, prefetcher) across values of one parameter,
+  fanned out over ``--workers`` processes with on-disk result caching
+  (``--no-cache`` to disable, ``REPRO_CACHE_DIR`` to relocate).
+* ``experiment`` — regenerate a paper table/figure by id (e.g. ``fig8``);
+  ``--workers N`` parallelises the underlying run matrix.
 """
 
 from __future__ import annotations
@@ -68,11 +72,36 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--instructions", type=int, default=None)
     cmp_p.add_argument("--warmup", type=int, default=None)
     cmp_p.add_argument("--seed", type=int, default=1234)
+    cmp_p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the independent runs")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep one prefetcher parameter over several values"
+    )
+    sweep_p.add_argument("--workload", "-w", required=True)
+    sweep_p.add_argument("--prefetcher", "-p", default="bingo")
+    sweep_p.add_argument("--parameter", required=True,
+                         help="prefetcher keyword to vary "
+                              "(e.g. history_entries, degree)")
+    sweep_p.add_argument("--values", nargs="+", required=True,
+                         help="values to sweep (parsed as int/float when "
+                              "possible)")
+    sweep_p.add_argument("--instructions", type=int, default=None)
+    sweep_p.add_argument("--warmup", type=int, default=None)
+    sweep_p.add_argument("--seed", type=int, default=1234)
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="worker processes for the sweep points")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="skip the on-disk result cache "
+                              "($REPRO_CACHE_DIR or ~/.cache/repro)")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("id", choices=sorted(EXPERIMENTS))
     exp_p.add_argument("--export", metavar="PATH", default=None,
                        help="also write the rows to PATH (.csv or .json)")
+    exp_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the run matrix "
+                            "(default: $REPRO_WORKERS or 1)")
     return parser
 
 
@@ -118,6 +147,7 @@ def _cmd_compare(args) -> int:
         warmup_instructions=warmup,
         seed=args.seed,
         scale=EXPERIMENT_SCALE,
+        workers=args.workers,
     )
     baseline = results["none"]
     rows = []
@@ -141,14 +171,77 @@ def _cmd_compare(args) -> int:
     return 0
 
 
-def _cmd_experiment(experiment_id: str, export: Optional[str] = None) -> int:
-    module = importlib.import_module(EXPERIMENTS[experiment_id])
+def _parse_value(text: str):
+    """CLI sweep values: int where possible, then float, else string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sim.executor import Executor, ResultCache
+    from repro.sim.sweep import sweep_prefetcher_parameter
+
+    instructions, warmup = _params(args)
+    values = [_parse_value(text) for text in args.values]
+    executor = Executor(
+        workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+    )
+    results = sweep_prefetcher_parameter(
+        args.workload,
+        prefetcher=args.prefetcher,
+        parameter=args.parameter,
+        values=values,
+        system=experiment_system(),
+        instructions_per_core=instructions,
+        warmup_instructions=warmup,
+        seed=args.seed,
+        scale=EXPERIMENT_SCALE,
+        executor=executor,
+    )
+    rows = []
+    for value, result in results.items():
+        row = {args.parameter: value}
+        row.update(
+            (metric, round(number, 4))
+            for metric, number in result.summary().items()
+        )
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            title=(
+                f"{args.prefetcher} on {args.workload}: "
+                f"sweep of {args.parameter}"
+            ),
+        )
+    )
+    stats = executor.stats
+    print(
+        f"\nexecutor: {stats.get('jobs')} jobs, "
+        f"{stats.get('cache_hits')} cache hits, "
+        f"{stats.get('executed')} executed "
+        f"({stats.get('run_seconds'):.2f}s, {args.workers} workers)"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.workers is not None:
+        import os
+
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+    module = importlib.import_module(EXPERIMENTS[args.id])
     rows = module.run()
     print(module.format_results(rows))
-    if export:
+    if args.export:
         from repro.analysis.export import export_rows
 
-        path = export_rows(export, rows, experiment=experiment_id)
+        path = export_rows(args.export, rows, experiment=args.id)
         print(f"\nrows exported to {path}")
     return 0
 
@@ -161,7 +254,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
-    return _cmd_experiment(args.id, args.export)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return _cmd_experiment(args)
 
 
 if __name__ == "__main__":

@@ -9,7 +9,19 @@ offering a typed, documented API.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Iterator, List
+
+try:  # Python >= 3.10
+    _bit_count = int.bit_count
+
+    def _popcount(value: int) -> int:
+        return _bit_count(value)
+
+except AttributeError:  # pragma: no cover - exercised on the 3.9 CI leg
+
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
 
 
 class Footprint:
@@ -66,7 +78,7 @@ class Footprint:
 
     def popcount(self) -> int:
         """Number of blocks marked used."""
-        return bin(self.bits).count("1")
+        return _popcount(self.bits)
 
     def density(self) -> float:
         """Fraction of the region's blocks that were used."""
@@ -96,7 +108,7 @@ class Footprint:
 
     def overlap(self, other: "Footprint") -> int:
         """Number of blocks set in both footprints."""
-        return bin(self.bits & self._coerce(other)).count("1")
+        return _popcount(self.bits & self._coerce(other))
 
     def _mask(self) -> int:
         return (1 << self.width) - 1
@@ -138,6 +150,23 @@ class Footprint:
         return f"Footprint({pattern})"
 
 
+def votes_needed(threshold: float, num_footprints: int) -> int:
+    """Exact ``ceil(threshold * n)``, guarded against float drift.
+
+    ``0.2 * 15`` is ``3.0000000000000004`` in binary floating point; a
+    naive ceiling would then demand 4 of 15 votes where the paper's 20 %
+    rule needs only 3.  Products that land within rounding error of an
+    integer are snapped to it before taking the ceiling.
+    """
+    raw = threshold * num_footprints
+    nearest = round(raw)
+    if math.isclose(raw, nearest, rel_tol=1e-9, abs_tol=1e-12):
+        needed = nearest
+    else:
+        needed = math.ceil(raw)
+    return max(1, needed)
+
+
 def vote(footprints: List[Footprint], threshold: float) -> Footprint:
     """Combine footprints by per-block voting (the paper's 20 % heuristic).
 
@@ -145,24 +174,55 @@ def vote(footprints: List[Footprint], threshold: float) -> Footprint:
     ``threshold`` (a fraction in (0, 1]) of the input footprints.  This is
     the policy Bingo applies when a short-event lookup matches several
     history entries with dissimilar footprints.
+
+    The tally is bit-parallel: per-column counts are kept as bit-sliced
+    binary counter planes (a carry-save adder over the int masks), then
+    compared against the vote quota with a bitwise magnitude comparator —
+    no per-footprint offset list is ever materialised.
     """
     if not footprints:
         raise ValueError("vote() requires at least one footprint")
     if not 0 < threshold <= 1:
         raise ValueError(f"threshold must be in (0, 1], got {threshold}")
     width = footprints[0].width
-    needed = max(1, int(-(-threshold * len(footprints) // 1)))  # ceil
-    counts = [0] * width
     for fp in footprints:
         if fp.width != width:
             raise ValueError("all footprints must share a width")
-        bits = fp.bits
-        while bits:
-            low = bits & -bits
-            counts[low.bit_length() - 1] += 1
-            bits ^= low
-    result = Footprint(width)
-    for offset, count in enumerate(counts):
-        if count >= needed:
-            result.set(offset)
-    return result
+    needed = votes_needed(threshold, len(footprints))
+
+    if needed == 1:  # union
+        bits = 0
+        for fp in footprints:
+            bits |= fp.bits
+        return Footprint(width, bits)
+    if needed == len(footprints):  # unanimity: intersection
+        bits = (1 << width) - 1
+        for fp in footprints:
+            bits &= fp.bits
+        return Footprint(width, bits)
+
+    # planes[i] holds bit i of every column's running vote count.
+    planes: List[int] = []
+    for fp in footprints:
+        carry = fp.bits
+        for i, plane in enumerate(planes):
+            if not carry:
+                break
+            planes[i] = plane ^ carry
+            carry &= plane
+        else:
+            if carry:
+                planes.append(carry)
+
+    # Columns with count >= needed, MSB-down: ``eq`` tracks columns whose
+    # high count bits equal ``needed``'s so far, ``gt`` those already over.
+    full = (1 << width) - 1
+    eq = full
+    gt = 0
+    for i in range(max(len(planes), needed.bit_length()) - 1, -1, -1):
+        plane = planes[i] if i < len(planes) else 0
+        if needed >> i & 1:
+            eq &= plane
+        else:
+            gt |= eq & plane
+    return Footprint(width, (gt | eq) & full)

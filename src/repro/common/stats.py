@@ -3,6 +3,14 @@
 Every simulator component owns a :class:`StatGroup`; groups nest, so a full
 run produces one tree that the reporting code flattens into the rows the
 paper's figures need (misses, coverage, overpredictions, cycles, ...).
+
+Hot components (the LLC access path, the DRAM model, the core retire loop)
+increment the same few counters millions of times per run.  For those,
+:meth:`StatGroup.counter` hands out a :class:`StatCounter` — a mutable
+cell that lives *inside* the group's counter table — so the per-event cost
+is one attribute increment instead of a string hash plus two dict
+operations.  Handles and the string API stay coherent: ``get``/``walk``/
+``as_dict`` read through the cell, ``add``/``set`` write through it.
 """
 
 from __future__ import annotations
@@ -11,6 +19,27 @@ from collections import OrderedDict
 from typing import Dict, Iterator, Tuple, Union
 
 Number = Union[int, float]
+
+
+class StatCounter:
+    """A fast-path handle to one counter.
+
+    Obtained via :meth:`StatGroup.counter`; the owning group stores the
+    cell itself, so ``handle.add()`` (or a bare ``handle.value += n`` in
+    the hottest loops) is immediately visible to every reader of the
+    group.  ``reset`` zeroes the cell in place — handles stay valid.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = 0) -> None:
+        self.value = value
+
+    def add(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"StatCounter({self.value!r})"
 
 
 class StatGroup:
@@ -23,21 +52,44 @@ class StatGroup:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._counters: "OrderedDict[str, Number]" = OrderedDict()
+        # values are plain numbers, or StatCounter cells once a fast-path
+        # handle has been handed out for that name
+        self._counters: "OrderedDict[str, object]" = OrderedDict()
         self._children: "OrderedDict[str, StatGroup]" = OrderedDict()
 
     # -- counters ---------------------------------------------------------
     def add(self, counter: str, amount: Number = 1) -> None:
-        self._counters[counter] = self._counters.get(counter, 0) + amount
+        cell = self._counters.get(counter, 0)
+        if type(cell) is StatCounter:
+            cell.value += amount
+        else:
+            self._counters[counter] = cell + amount
 
     def set(self, counter: str, value: Number) -> None:
-        self._counters[counter] = value
+        cell = self._counters.get(counter)
+        if type(cell) is StatCounter:
+            cell.value = value
+        else:
+            self._counters[counter] = value
 
     def get(self, counter: str) -> Number:
-        return self._counters.get(counter, 0)
+        cell = self._counters.get(counter, 0)
+        return cell.value if type(cell) is StatCounter else cell
 
     def __getitem__(self, counter: str) -> Number:
         return self.get(counter)
+
+    def counter(self, name: str) -> StatCounter:
+        """A :class:`StatCounter` cell for ``name`` (created at zero).
+
+        Repeated calls return the same cell; any value accumulated through
+        the string API beforehand is preserved.
+        """
+        cell = self._counters.get(name, 0)
+        if type(cell) is not StatCounter:
+            cell = StatCounter(cell)
+            self._counters[name] = cell
+        return cell
 
     # -- ratios -------------------------------------------------------------
     def ratio(self, numerator: str, denominator: str) -> float:
@@ -53,11 +105,14 @@ class StatGroup:
 
     # -- introspection -----------------------------------------------------------
     def counters(self) -> Dict[str, Number]:
-        return dict(self._counters)
+        return {
+            name: cell.value if type(cell) is StatCounter else cell
+            for name, cell in self._counters.items()
+        }
 
     def as_dict(self) -> Dict[str, object]:
         """Snapshot of this group and all descendants."""
-        out: Dict[str, object] = dict(self._counters)
+        out: Dict[str, object] = self.counters()
         for name, group in self._children.items():
             out[name] = group.as_dict()
         return out
@@ -65,13 +120,22 @@ class StatGroup:
     def walk(self, prefix: str = "") -> Iterator[Tuple[str, Number]]:
         """Yield ``(dotted.path, value)`` for every counter in the tree."""
         base = f"{prefix}{self.name}."
-        for counter, value in self._counters.items():
-            yield base + counter, value
+        for counter, cell in self._counters.items():
+            yield base + counter, (
+                cell.value if type(cell) is StatCounter else cell
+            )
         for group in self._children.values():
             yield from group.walk(base)
 
     def reset(self) -> None:
-        self._counters.clear()
+        # Zero StatCounter cells in place (components hold references to
+        # them); plain entries are simply dropped.
+        for name in list(self._counters):
+            cell = self._counters[name]
+            if type(cell) is StatCounter:
+                cell.value = 0
+            else:
+                del self._counters[name]
         for group in self._children.values():
             group.reset()
 

@@ -44,6 +44,9 @@ class CoreTimingModel:
         self._last_dispatch = 0.0
         self._last_retire = 0.0
         self._last_load_complete = 0.0
+        # fast-path counter cells: written on every retired instruction
+        self._stat_instructions = self.stats.counter("instructions")
+        self._stat_cycles = self.stats.counter("cycles")
 
     # -- queries ----------------------------------------------------------
     @property
@@ -103,6 +106,6 @@ class CoreTimingModel:
         self._last_retire = retire
         if is_load:
             self._last_load_complete = complete
-        self.stats.set("instructions", self._count)
-        self.stats.set("cycles", retire)
+        self._stat_instructions.value = self._count
+        self._stat_cycles.value = retire
         return retire

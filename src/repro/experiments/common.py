@@ -17,12 +17,13 @@ size axis explicitly.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import CacheConfig, SystemConfig
+from repro.common.stats import StatGroup
 from repro.sim.engine import SimulationParams
+from repro.sim.executor import Executor, ResultCache, SimJob
 from repro.sim.results import SimResult
-from repro.sim.runner import run_simulation
 from repro.workloads.registry import WORKLOAD_NAMES
 
 #: working sets (and hierarchy) at 1/8 of the paper's size
@@ -76,10 +77,79 @@ def default_params(quick: Optional[bool] = None) -> SimulationParams:
 # ---------------------------------------------------------------------------
 # Memoised run matrix: Figs. 7, 8, and 9 derive from the same
 # (workload x prefetcher) runs, so one bench session pays for each run once.
+# Every run routes through a repro.sim.executor.Executor:
+#
+# * ``REPRO_WORKERS=N`` fans the independent points of a matrix out over
+#   N worker processes (results are bit-identical to serial);
+# * ``REPRO_CACHE=1`` additionally memoises completed runs on disk
+#   (``REPRO_CACHE_DIR`` or ~/.cache/repro) across processes.
+#
+# EXECUTOR_STATS accumulates hit/miss/run counters for the whole process.
 # ---------------------------------------------------------------------------
 
 _RunKey = Tuple[str, str, Tuple[Tuple[str, object], ...], int, int]
 _MATRIX_CACHE: Dict[_RunKey, SimResult] = {}
+
+EXECUTOR_STATS = StatGroup("executor")
+
+
+def env_workers() -> int:
+    """Worker-process count for experiment drivers (``REPRO_WORKERS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def env_cache() -> Optional[ResultCache]:
+    """The on-disk result cache, when ``REPRO_CACHE`` enables it."""
+    if os.environ.get("REPRO_CACHE", "") in ("", "0"):
+        return None
+    return ResultCache()
+
+
+def experiment_executor(
+    workers: Optional[int] = None, cache: Optional[ResultCache] = None
+) -> Executor:
+    """An executor wired to the env knobs and the shared stat group."""
+    return Executor(
+        workers=workers if workers is not None else env_workers(),
+        cache=cache if cache is not None else env_cache(),
+        stats=EXECUTOR_STATS,
+    )
+
+
+def _job(
+    workload: str,
+    prefetcher: str,
+    params: SimulationParams,
+    prefetcher_kwargs: Optional[dict] = None,
+) -> SimJob:
+    return SimJob.build(
+        workload,
+        prefetcher=prefetcher,
+        system=experiment_system(),
+        instructions_per_core=params.instructions_per_core,
+        warmup_instructions=params.warmup_instructions,
+        scale=EXPERIMENT_SCALE,
+        prefetcher_kwargs=prefetcher_kwargs,
+    )
+
+
+def _memo_key(
+    workload: str,
+    prefetcher: str,
+    params: SimulationParams,
+    kwargs: dict,
+    cache_tag: str,
+) -> _RunKey:
+    return (
+        workload,
+        prefetcher + cache_tag,
+        tuple(sorted(kwargs.items())),
+        params.instructions_per_core,
+        params.warmup_instructions,
+    )
 
 
 def cached_run(
@@ -97,22 +167,10 @@ def cached_run(
     """
     params = params if params is not None else default_params()
     kwargs = prefetcher_kwargs or {}
-    key = (
-        workload,
-        prefetcher + cache_tag,
-        tuple(sorted(kwargs.items())),
-        params.instructions_per_core,
-        params.warmup_instructions,
-    )
+    key = _memo_key(workload, prefetcher, params, kwargs, cache_tag)
     if key not in _MATRIX_CACHE:
-        _MATRIX_CACHE[key] = run_simulation(
-            workload,
-            prefetcher=prefetcher,
-            system=experiment_system(),
-            instructions_per_core=params.instructions_per_core,
-            warmup_instructions=params.warmup_instructions,
-            scale=EXPERIMENT_SCALE,
-            prefetcher_kwargs=kwargs or None,
+        _MATRIX_CACHE[key] = experiment_executor().run_job(
+            _job(workload, prefetcher, params, kwargs or None)
         )
     return _MATRIX_CACHE[key]
 
@@ -121,16 +179,48 @@ def run_matrix(
     workloads: Optional[Sequence[str]] = None,
     prefetchers: Optional[Sequence[str]] = None,
     params: Optional[SimulationParams] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, Dict[str, SimResult]]:
-    """The Figs. 7–9 matrix: every workload under every prefetcher + baseline."""
+    """The Figs. 7–9 matrix: every workload under every prefetcher + baseline.
+
+    All missing cells are submitted to the executor as one batch, so with
+    ``workers > 1`` (or ``REPRO_WORKERS``) the whole matrix fans out.
+    """
     workloads = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
     prefetchers = (
         list(prefetchers) if prefetchers is not None else list(PAPER_PREFETCHERS)
     )
+    params = params if params is not None else default_params()
+
+    cells = [
+        (workload, prefetcher)
+        for workload in workloads
+        for prefetcher in ["none"] + [p for p in prefetchers if p != "none"]
+    ]
+    missing: List[Tuple[str, str]] = [
+        cell
+        for cell in cells
+        if _memo_key(cell[0], cell[1], params, {}, "") not in _MATRIX_CACHE
+    ]
+    if missing:
+        executor = experiment_executor(workers=workers, cache=cache)
+        jobs = [_job(workload, prefetcher, params) for workload, prefetcher in missing]
+        for (workload, prefetcher), result in zip(
+            missing, executor.run_jobs(jobs)
+        ):
+            _MATRIX_CACHE[
+                _memo_key(workload, prefetcher, params, {}, "")
+            ] = result
+
     results: Dict[str, Dict[str, SimResult]] = {}
     for workload in workloads:
-        runs = {"none": cached_run(workload, "none", params)}
+        runs = {
+            "none": _MATRIX_CACHE[_memo_key(workload, "none", params, {}, "")]
+        }
         for prefetcher in prefetchers:
-            runs[prefetcher] = cached_run(workload, prefetcher, params)
+            runs[prefetcher] = _MATRIX_CACHE[
+                _memo_key(workload, prefetcher, params, {}, "")
+            ]
         results[workload] = runs
     return results

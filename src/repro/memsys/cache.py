@@ -74,6 +74,10 @@ class Cache:
         self.ways = config.ways
         self._set_mask = self.num_sets - 1
         self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        # fast-path counter cells: fills/evictions run once per miss
+        self._fills = self.stats.counter("fills")
+        self._evictions = self.stats.counter("evictions")
+        self._invalidations = self.stats.counter("invalidations")
 
     # -- indexing ---------------------------------------------------------
     def set_index(self, block: int) -> int:
@@ -110,11 +114,11 @@ class Cache:
         if len(entries) >= self.ways:
             victim_block, victim_state = entries.popitem(last=False)
             victim = (victim_block, victim_state)
-            self.stats.add("evictions")
+            self._evictions.value += 1
             if self.on_evict is not None:
                 self.on_evict(victim_block, victim_state)
         entries[block] = state
-        self.stats.add("fills")
+        self._fills.value += 1
         return victim
 
     def invalidate(self, block: int) -> Optional[BlockState]:
@@ -122,7 +126,7 @@ class Cache:
         entries = self._sets[block & self._set_mask]
         state = entries.pop(block, None)
         if state is not None:
-            self.stats.add("invalidations")
+            self._invalidations.value += 1
             if self.on_evict is not None:
                 self.on_evict(block, state)
         return state

@@ -44,6 +44,14 @@ class DramModel:
         self._open_row: List[Dict[int, int]] = [
             {} for _ in range(config.channels)
         ]
+        # fast-path counter cells: one access() call per LLC miss/prefetch
+        self._reads = self.stats.counter("reads")
+        self._row_hits = self.stats.counter("row_hits")
+        self._row_misses = self.stats.counter("row_misses")
+        self._prefetch_reads = self.stats.counter("prefetch_reads")
+        self._queued = self.stats.counter("queued")
+        self._queue_cycles = self.stats.counter("queue_cycles")
+        self._writebacks = self.stats.counter("writebacks")
         # Latencies in cycles.
         self.miss_cycles = core.cycles(config.zero_load_ns)
         self.hit_cycles = core.cycles(config.row_hit_ns)
@@ -75,19 +83,19 @@ class DramModel:
         open_row = self._open_row[channel].get(bank)
         if open_row == row:
             service = self.hit_cycles
-            self.stats.add("row_hits")
+            self._row_hits.value += 1
         else:
             service = self.miss_cycles
             self._open_row[channel][bank] = row
-            self.stats.add("row_misses")
+            self._row_misses.value += 1
 
         self._channel_busy[channel] = start + self.occupancy_cycles
-        self.stats.add("reads")
+        self._reads.value += 1
         if is_prefetch:
-            self.stats.add("prefetch_reads")
+            self._prefetch_reads.value += 1
         if queue_delay > 0:
-            self.stats.add("queued")
-            self.stats.add("queue_cycles", queue_delay)
+            self._queued.value += 1
+            self._queue_cycles.value += queue_delay
         return queue_delay + service
 
     def writeback(self, now: float, block_address: int) -> None:
@@ -103,7 +111,7 @@ class DramModel:
         self._channel_busy[channel] = start + self.occupancy_cycles
         if self._open_row[channel].get(bank) != row:
             self._open_row[channel][bank] = row
-        self.stats.add("writebacks")
+        self._writebacks.value += 1
 
     # -- introspection ----------------------------------------------------------
     def row_hit_ratio(self) -> float:

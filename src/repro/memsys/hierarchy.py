@@ -18,7 +18,6 @@ back-pressure.  DESIGN.md §6 documents the fidelity trade-offs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.common.config import SystemConfig
@@ -30,17 +29,48 @@ from repro.memsys.translation import RandomFirstTouchTranslator
 from repro.prefetchers.base import AccessInfo, Prefetcher
 
 
-@dataclass
 class AccessResult:
-    """Outcome of one demand access through the hierarchy."""
+    """Outcome of one demand access through the hierarchy.
 
-    latency: float
-    l1_hit: bool = False
-    llc_hit: bool = False
-    llc_miss: bool = False
-    covered: bool = False  # hit on a not-yet-used prefetched block
-    late: bool = False  # ...whose fill had not completed yet
-    prefetches_issued: int = 0
+    A plain ``__slots__`` class rather than a dataclass: one instance is
+    allocated per demand access, squarely on the simulator's hot path.
+    """
+
+    __slots__ = (
+        "latency",
+        "l1_hit",
+        "llc_hit",
+        "llc_miss",
+        "covered",
+        "late",
+        "prefetches_issued",
+    )
+
+    def __init__(
+        self,
+        latency: float,
+        l1_hit: bool = False,
+        llc_hit: bool = False,
+        llc_miss: bool = False,
+        covered: bool = False,  # hit on a not-yet-used prefetched block
+        late: bool = False,  # ...whose fill had not completed yet
+        prefetches_issued: int = 0,
+    ) -> None:
+        self.latency = latency
+        self.l1_hit = l1_hit
+        self.llc_hit = llc_hit
+        self.llc_miss = llc_miss
+        self.covered = covered
+        self.late = late
+        self.prefetches_issued = prefetches_issued
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessResult(latency={self.latency!r}, l1_hit={self.l1_hit!r}, "
+            f"llc_hit={self.llc_hit!r}, llc_miss={self.llc_miss!r}, "
+            f"covered={self.covered!r}, late={self.late!r}, "
+            f"prefetches_issued={self.prefetches_issued!r})"
+        )
 
 
 class MemoryHierarchy:
@@ -111,10 +141,29 @@ class MemoryHierarchy:
         self._block_bits = amap.block_bits
         self._now = 0.0  # advanced by accesses; used to time writebacks
 
+        # Fast-path counter cells, hoisted so the per-access path touches
+        # no string keys.  One triple per core for the L1s, one set for
+        # the shared LLC.
+        llc_stats = self._llc_stats
+        self._c_demand_accesses = llc_stats.counter("demand_accesses")
+        self._c_demand_writes = llc_stats.counter("demand_writes")
+        self._c_demand_hits = llc_stats.counter("demand_hits")
+        self._c_demand_misses = llc_stats.counter("demand_misses")
+        self._c_covered = llc_stats.counter("covered")
+        self._c_prefetch_hits = llc_stats.counter("prefetch_hits")
+        self._c_late_covered = llc_stats.counter("late_covered")
+        self._c_prefetches_issued = llc_stats.counter("prefetches_issued")
+        self._c_redundant = llc_stats.counter("redundant_prefetches")
+        self._c_rejected = llc_stats.counter("rejected_prefetches")
+        self._c_overpredictions = llc_stats.counter("overpredictions")
+        self._l1_accesses = [l1.stats.counter("accesses") for l1 in self.l1ds]
+        self._l1_hits = [l1.stats.counter("hits") for l1 in self.l1ds]
+        self._l1_misses = [l1.stats.counter("misses") for l1 in self.l1ds]
+
     # -- eviction plumbing ---------------------------------------------------
     def _handle_llc_eviction(self, block: int, state: BlockState) -> None:
         if state.prefetched and not state.used:
-            self._llc_stats.add("overpredictions")
+            self._c_overpredictions.value += 1
         if state.dirty and self.config.model_writebacks:
             self.dram.writeback(self._now, block << self._block_bits)
         if self.train_at == "llc":
@@ -150,7 +199,7 @@ class MemoryHierarchy:
 
         # ---- L1D ----
         l1 = self.l1ds[core_id]
-        l1.stats.add("accesses")
+        self._l1_accesses[core_id].value += 1
         l1_hit = l1.lookup(block) is not None
 
         # L1-training mode: the prefetcher sees every L1 access.
@@ -171,9 +220,9 @@ class MemoryHierarchy:
                 self._issue_prefetches(pf, core_id, block, requests, now)
 
         if l1_hit:
-            l1.stats.add("hits")
+            self._l1_hits[core_id].value += 1
             return AccessResult(latency=cfg.l1d.hit_latency, l1_hit=True)
-        l1.stats.add("misses")
+        self._l1_misses[core_id].value += 1
 
         # L1 MSHR: merge with an outstanding miss to the same block, or
         # stall if the file is full.
@@ -204,11 +253,10 @@ class MemoryHierarchy:
         is_write: bool,
     ) -> AccessResult:
         cfg = self.config
-        stats = self._llc_stats
-        stats.add("demand_accesses")
+        self._c_demand_accesses.value += 1
         self._now = max(self._now, now)
         if is_write:
-            stats.add("demand_writes")
+            self._c_demand_writes.value += 1
 
         state = self.llc.lookup(block)
         hit = state is not None
@@ -219,20 +267,20 @@ class MemoryHierarchy:
             if state.prefetched and not state.used:
                 # First demand use of a prefetched block: a covered miss.
                 state.used = True
-                stats.add("covered")
-                stats.add("prefetch_hits")
+                self._c_covered.value += 1
+                self._c_prefetch_hits.value += 1
                 result.covered = True
                 if wait > 0:
-                    stats.add("late_covered")
+                    self._c_late_covered.value += 1
                     result.late = True
             else:
-                stats.add("demand_hits")
+                self._c_demand_hits.value += 1
             result.llc_hit = True
             result.latency = cfg.llc.hit_latency + wait
             if is_write:
                 state.dirty = True
         else:
-            stats.add("demand_misses")
+            self._c_demand_misses.value += 1
             dram_latency = self.dram.access(
                 now + cfg.llc.hit_latency, block << self._block_bits
             )
@@ -271,17 +319,16 @@ class MemoryHierarchy:
         requests,
         issue_time: float,
     ) -> int:
-        stats = self._llc_stats
         issued = 0
         for req in requests:
             block = req.block
             if block < 0:
                 # A delta/stride prefetcher extrapolated below address
                 # zero; real hardware would squash the request.
-                stats.add("rejected_prefetches")
+                self._c_rejected.value += 1
                 continue
             if block == trigger_block or self.llc.contains(block):
-                stats.add("redundant_prefetches")
+                self._c_redundant.value += 1
                 continue
             latency = self.dram.access(
                 issue_time, block << self._block_bits, is_prefetch=True
@@ -291,7 +338,7 @@ class MemoryHierarchy:
                 block, BlockState(prefetched=True, ready_time=ready, core_id=core_id)
             )
             pf.on_prefetch_fill(block, ready)
-            stats.add("prefetches_issued")
+            self._c_prefetches_issued.value += 1
             issued += 1
         return issued
 

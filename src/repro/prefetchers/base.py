@@ -25,17 +25,43 @@ from repro.common.addresses import AddressMap
 from repro.common.stats import StatGroup
 
 
-@dataclass(frozen=True)
 class AccessInfo:
-    """One LLC demand access as seen by a prefetcher."""
+    """One LLC demand access as seen by a prefetcher.
 
-    pc: int
-    address: int  # physical byte address
-    block: int  # physical block number (address >> block_bits)
-    hit: bool
-    time: float  # core cycles
-    core_id: int = 0
-    is_write: bool = False
+    A frozen ``__slots__`` class (not a dataclass): one instance is built
+    per LLC access, on the simulator's hot path.
+    """
+
+    __slots__ = ("pc", "address", "block", "hit", "time", "core_id", "is_write")
+
+    def __init__(
+        self,
+        pc: int,
+        address: int,  # physical byte address
+        block: int,  # physical block number (address >> block_bits)
+        hit: bool,
+        time: float,  # core cycles
+        core_id: int = 0,
+        is_write: bool = False,
+    ) -> None:
+        _set = object.__setattr__
+        _set(self, "pc", pc)
+        _set(self, "address", address)
+        _set(self, "block", block)
+        _set(self, "hit", hit)
+        _set(self, "time", time)
+        _set(self, "core_id", core_id)
+        _set(self, "is_write", is_write)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"AccessInfo is immutable; cannot set {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessInfo(pc={self.pc:#x}, address={self.address:#x}, "
+            f"block={self.block:#x}, hit={self.hit!r}, time={self.time!r}, "
+            f"core_id={self.core_id!r}, is_write={self.is_write!r})"
+        )
 
 
 @dataclass(frozen=True)

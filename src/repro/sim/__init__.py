@@ -1,12 +1,17 @@
-"""Trace-driven multi-core simulation: engine, runner API, results."""
+"""Trace-driven multi-core simulation: engine, executor, runner API, results."""
 
 from repro.sim.engine import SimulationEngine, SimulationParams
+from repro.sim.executor import Executor, ResultCache, SimJob, execute_job
 from repro.sim.results import SimResult, speedup
 from repro.sim.runner import compare_prefetchers, run_simulation
 
 __all__ = [
     "SimulationEngine",
     "SimulationParams",
+    "Executor",
+    "ResultCache",
+    "SimJob",
+    "execute_job",
     "SimResult",
     "speedup",
     "compare_prefetchers",

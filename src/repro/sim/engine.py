@@ -168,7 +168,10 @@ class SimulationEngine:
             )
         llc = "run.memsys.llc."
         dram = "run.memsys.dram."
-        storage = sum(pf.storage_bits for pf in self.prefetchers[:1])
+        # Every core carries an identical copy of the prefetcher metadata,
+        # and Fig. 9 charges the *per-core* budget, so read the first
+        # instance; the "none" baseline has no prefetchers and costs 0.
+        storage = self.prefetchers[0].storage_bits if self.prefetchers else 0
         pf_prefix = "run.memsys.prefetcher."
         pf_counters = {
             key[key.rindex(".") + 1 :]: final[key] - snapshot.get(key, 0)

@@ -1,0 +1,315 @@
+"""Batch execution of simulation points: fan-out, memoisation, counters.
+
+Every paper artifact is a matrix of independent ``(workload × prefetcher
+× parameter)`` simulation points.  This module turns each point into a
+self-describing, picklable :class:`SimJob` and runs whole batches through
+an :class:`Executor` that
+
+* fans jobs out across a ``ProcessPoolExecutor`` (``workers > 1``) with a
+  serial in-process fallback (``workers == 1``, or no usable
+  ``multiprocessing`` start method) — results are **bit-identical** either
+  way, because all randomness is derived from the job spec itself;
+* memoises completed jobs in an on-disk :class:`ResultCache` keyed by a
+  stable SHA-256 digest of the job spec plus the code version, so repeat
+  figure regenerations short-circuit to a JSON read;
+* surfaces hit/miss/run counters and wall-clock timings through a
+  :class:`repro.common.stats.StatGroup`.
+
+The cache directory defaults to ``~/.cache/repro`` and is overridden by
+the ``REPRO_CACHE_DIR`` environment variable.  Entries invalidate
+automatically when the package version (``repro.__version__``) or the
+cache schema bumps — both are folded into the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.stats import StatGroup
+from repro.sim.engine import SimulationEngine, SimulationParams
+from repro.sim.results import SimResult
+
+#: bump when the cache entry layout (not the simulated semantics) changes
+CACHE_SCHEMA = 1
+
+KwargItems = Tuple[Tuple[str, object], ...]
+
+
+def _canonical(value: object) -> object:
+    """Reduce a job-spec value to deterministic, JSON-encodable primitives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {
+            str(key): _canonical(val) for key, val in sorted(value.items())
+        }
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One self-describing simulation point.
+
+    Carries everything :func:`execute_job` needs to rebuild the run from
+    scratch in any process: the workload *by name* (plus seed and scale —
+    workload streams derive all randomness from these, so no RNG state
+    crosses process boundaries), the prefetcher configuration, the system,
+    and the run length.
+    """
+
+    workload: str
+    prefetcher: str = "none"
+    prefetcher_kwargs: KwargItems = ()
+    system: SystemConfig = field(default_factory=SystemConfig)
+    params: SimulationParams = field(default_factory=SimulationParams)
+    seed: int = 1234
+    scale: float = 1.0
+    train_at: str = "llc"
+
+    @classmethod
+    def build(
+        cls,
+        workload: str,
+        prefetcher: str = "none",
+        system: Optional[SystemConfig] = None,
+        instructions_per_core: int = 100_000,
+        warmup_instructions: int = 20_000,
+        seed: int = 1234,
+        scale: float = 1.0,
+        prefetcher_kwargs: Optional[dict] = None,
+        train_at: str = "llc",
+    ) -> "SimJob":
+        """Mirror of :func:`repro.sim.runner.run_simulation`'s signature."""
+        return cls(
+            workload=workload,
+            prefetcher=prefetcher,
+            prefetcher_kwargs=tuple(sorted((prefetcher_kwargs or {}).items())),
+            system=system if system is not None else SystemConfig(),
+            params=SimulationParams(
+                instructions_per_core=instructions_per_core,
+                warmup_instructions=warmup_instructions,
+            ),
+            seed=seed,
+            scale=scale,
+            train_at=train_at,
+        )
+
+    def spec(self) -> Dict[str, object]:
+        """The canonical, JSON-encodable description of this job."""
+        return {
+            "workload": self.workload,
+            "prefetcher": self.prefetcher,
+            "prefetcher_kwargs": _canonical(dict(self.prefetcher_kwargs)),
+            "system": _canonical(asdict(self.system)),
+            "params": _canonical(asdict(self.params)),
+            "seed": self.seed,
+            "scale": self.scale,
+            "train_at": self.train_at,
+        }
+
+    def digest(self) -> str:
+        """Stable cache key: job spec + code version + cache schema."""
+        from repro import __version__
+
+        payload = json.dumps(
+            {"schema": CACHE_SCHEMA, "version": __version__, "job": self.spec()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def execute_job(job: SimJob) -> SimResult:
+    """Run one job in the current process.
+
+    Module-level (not a method) so worker processes can unpickle it under
+    both the ``fork`` and ``spawn`` start methods.  The workload is
+    rebuilt from ``(name, seed, scale)``, and all stream RNGs are seeded
+    from those values, so the result is a pure function of the job spec.
+    """
+    from repro.workloads.registry import make_workload
+
+    engine = SimulationEngine(
+        workload=make_workload(job.workload, seed=job.seed, scale=job.scale),
+        prefetcher=job.prefetcher,
+        system=job.system,
+        params=job.params,
+        prefetcher_kwargs=dict(job.prefetcher_kwargs) or None,
+        train_at=job.train_at,
+    )
+    return engine.run()
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Digest-addressed JSON store of completed :class:`SimJob` results.
+
+    One file per job under ``<root>/results/<digest[:2]>/<digest>.json``.
+    Writes are atomic (temp file + ``os.replace``), so concurrent
+    executors never observe a torn entry.  Corrupt or schema-mismatched
+    entries read as misses and are overwritten on the next store.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, job: SimJob) -> Path:
+        digest = job.digest()
+        return self.root / "results" / digest[:2] / f"{digest}.json"
+
+    def load(self, job: SimJob) -> Optional[SimResult]:
+        path = self.path_for(job)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA or "result" not in entry:
+            return None
+        try:
+            return SimResult.from_dict(entry["result"])
+        except (TypeError, KeyError):
+            return None
+
+    def store(self, job: SimJob, result: SimResult) -> Path:
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        from repro import __version__
+
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "job": job.spec(),
+            "result": result.to_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
+    """Prefer ``fork`` (cheap, shares loaded modules), fall back to
+    ``spawn``; ``None`` means the platform supports neither and the
+    executor must run serially."""
+    for method in ("fork", "spawn"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:  # pragma: no cover - platform dependent
+            continue
+    return None  # pragma: no cover - platform dependent
+
+
+class Executor:
+    """Runs batches of :class:`SimJob`\\ s with caching and parallelism.
+
+    ``workers=1`` executes in-process (no pool, no pickling); ``workers>1``
+    fans out over a process pool.  Either way, identical jobs within one
+    batch are executed once, and an attached :class:`ResultCache` is
+    consulted first and populated afterwards.
+
+    ``stats`` counters: ``jobs``, ``cache_hits``, ``cache_misses``,
+    ``executed``, ``run_seconds`` (wall-clock of the execution phase).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        stats: Optional[StatGroup] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.stats = stats if stats is not None else StatGroup("executor")
+
+    def run_job(self, job: SimJob) -> SimResult:
+        return self.run_jobs([job])[0]
+
+    def run_jobs(self, jobs: Sequence[SimJob]) -> List[SimResult]:
+        """Execute a batch; results are returned in input order."""
+        jobs = list(jobs)
+        self.stats.add("jobs", len(jobs))
+        results: List[Optional[SimResult]] = [None] * len(jobs)
+
+        # Cache probe + intra-batch dedup: map each distinct digest to the
+        # slots awaiting its result.
+        pending: "Dict[str, List[int]]" = {}
+        pending_jobs: List[SimJob] = []
+        for index, job in enumerate(jobs):
+            digest = job.digest()
+            if digest in pending:
+                pending[digest].append(index)
+                continue
+            if self.cache is not None:
+                hit = self.cache.load(job)
+                if hit is not None:
+                    self.stats.add("cache_hits")
+                    results[index] = hit
+                    continue
+                self.stats.add("cache_misses")
+            pending[digest] = [index]
+            pending_jobs.append(job)
+
+        if pending_jobs:
+            start = time.perf_counter()
+            executed = self._execute(pending_jobs)
+            self.stats.add("run_seconds", time.perf_counter() - start)
+            self.stats.add("executed", len(pending_jobs))
+            for job, result in zip(pending_jobs, executed):
+                if self.cache is not None:
+                    self.cache.store(job, result)
+                for index in pending[job.digest()]:
+                    results[index] = result
+        return results  # type: ignore[return-value]
+
+    def _execute(self, jobs: List[SimJob]) -> List[SimResult]:
+        context = _pool_context() if self.workers > 1 else None
+        if context is None or len(jobs) == 1:
+            return [execute_job(job) for job in jobs]
+        workers = min(self.workers, len(jobs))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            return list(pool.map(execute_job, jobs))

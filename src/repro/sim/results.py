@@ -17,7 +17,7 @@ Metric definitions follow the paper exactly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List
 
 
@@ -149,6 +149,25 @@ class SimResult:
             "overprediction": self.overprediction,
             "prefetches_issued": float(self.prefetches_issued),
         }
+
+    # -- (de)serialisation --------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-compatible deep copy (the executor's cache format).
+
+        ``json.dump``/``load`` round-trips Python floats exactly (repr
+        based), so a cached result is bit-identical to the original run.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimResult":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        payload = {key: value for key, value in data.items() if key in known}
+        payload["cores"] = [
+            CoreResult(**core) for core in payload.get("cores", [])
+        ]
+        return cls(**payload)
 
 
 def speedup(result: SimResult, baseline: SimResult) -> float:

@@ -65,27 +65,56 @@ def compare_prefetchers(
     scale: float = 1.0,
     prefetcher_kwargs: Optional[Dict[str, dict]] = None,
     include_baseline: bool = True,
+    workers: int = 1,
+    cache=None,
+    executor=None,
 ) -> Dict[str, SimResult]:
     """Run a workload under several prefetchers (plus the baseline).
 
     Returns ``{prefetcher_name: SimResult}``; the no-prefetcher baseline
     is included under ``"none"`` unless disabled.  ``prefetcher_kwargs``
     maps prefetcher name to its keyword overrides.
+
+    The per-prefetcher runs are independent, so named workloads route
+    through a :class:`repro.sim.executor.Executor` — pass ``workers``
+    (and optionally a ``repro.sim.executor.ResultCache`` as ``cache``) or
+    a pre-built ``executor`` to fan out / memoise.  A ``Workload``
+    *instance* pins the comparison to the in-process serial path.
     """
     names = list(prefetchers)
     if include_baseline and "none" not in names:
         names.insert(0, "none")
     kwargs_by_name = prefetcher_kwargs or {}
-    resolved = _resolve_workload(workload, seed, scale)
     results: Dict[str, SimResult] = {}
-    for name in names:
-        results[name] = run_simulation(
-            resolved,
+
+    if isinstance(workload, Workload):
+        for name in names:
+            results[name] = run_simulation(
+                workload,
+                prefetcher=name,
+                system=system,
+                instructions_per_core=instructions_per_core,
+                warmup_instructions=warmup_instructions,
+                seed=seed,
+                prefetcher_kwargs=kwargs_by_name.get(name),
+            )
+        return results
+
+    from repro.sim.executor import Executor, SimJob
+
+    jobs = [
+        SimJob.build(
+            workload,
             prefetcher=name,
             system=system,
             instructions_per_core=instructions_per_core,
             warmup_instructions=warmup_instructions,
             seed=seed,
+            scale=scale,
             prefetcher_kwargs=kwargs_by_name.get(name),
         )
-    return results
+        for name in names
+    ]
+    if executor is None:
+        executor = Executor(workers=workers, cache=cache)
+    return dict(zip(names, executor.run_jobs(jobs)))

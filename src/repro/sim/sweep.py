@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Union
 
 from repro.common.config import SystemConfig
+from repro.sim.executor import Executor, ResultCache, SimJob
 from repro.sim.results import SimResult
 from repro.sim.runner import run_simulation
 from repro.workloads.base import Workload
@@ -21,25 +22,57 @@ def sweep_prefetcher_parameter(
     warmup_instructions: int = 20_000,
     seed: int = 1234,
     scale: float = 1.0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
 ) -> Dict[object, SimResult]:
     """Run the same (workload, prefetcher) across values of one parameter.
 
     Used for the Fig. 6 history-size sweep
     (``parameter="history_entries"``) and the vote-threshold / region-size
     ablations.  Returns ``{value: SimResult}`` in input order.
+
+    The sweep points are independent, so they route through a
+    :class:`repro.sim.executor.Executor`: pass ``workers`` (and optionally
+    ``cache``) or a pre-built ``executor`` to fan out / memoise.  A
+    ``Workload`` *instance* pins the sweep to the in-process serial path
+    (instances are not portable across worker processes); pass the
+    workload name to parallelise.
     """
-    results: Dict[object, SimResult] = {}
+    values = list(values)
+    if isinstance(workload, Workload):
+        results: Dict[object, SimResult] = {}
+        for value in values:
+            kwargs = dict(base_kwargs or {})
+            kwargs[parameter] = value
+            results[value] = run_simulation(
+                workload,
+                prefetcher=prefetcher,
+                system=system,
+                instructions_per_core=instructions_per_core,
+                warmup_instructions=warmup_instructions,
+                seed=seed,
+                scale=scale,
+                prefetcher_kwargs=kwargs,
+            )
+        return results
+
+    jobs = []
     for value in values:
         kwargs = dict(base_kwargs or {})
         kwargs[parameter] = value
-        results[value] = run_simulation(
-            workload,
-            prefetcher=prefetcher,
-            system=system,
-            instructions_per_core=instructions_per_core,
-            warmup_instructions=warmup_instructions,
-            seed=seed,
-            scale=scale,
-            prefetcher_kwargs=kwargs,
+        jobs.append(
+            SimJob.build(
+                workload,
+                prefetcher=prefetcher,
+                system=system,
+                instructions_per_core=instructions_per_core,
+                warmup_instructions=warmup_instructions,
+                seed=seed,
+                scale=scale,
+                prefetcher_kwargs=kwargs,
+            )
         )
-    return results
+    if executor is None:
+        executor = Executor(workers=workers, cache=cache)
+    return dict(zip(values, executor.run_jobs(jobs)))

@@ -178,3 +178,52 @@ def test_vote_bounds(footprints, threshold):
         union |= set(fp.offsets())
         inter &= set(fp.offsets())
     assert inter <= set(voted.offsets()) <= union
+
+
+class TestVotesNeeded:
+    def test_paper_threshold_is_exact_for_all_match_counts(self):
+        """ceil(0.2 * n) must be ceil(n/5) exactly for n = 1..64.
+
+        The old float ceiling over-counted whenever the product landed
+        just above an integer (0.2 * 15 == 3.0000000000000004 -> 4/15
+        instead of 3/15); votes_needed guards against that drift.
+        """
+        from repro.common.bitvec import votes_needed
+
+        for n in range(1, 65):
+            assert votes_needed(0.2, n) == -(-n // 5), n
+
+    def test_regression_block_with_exact_quota_passes(self):
+        """At n=15, 3 votes must carry a 20 % threshold (not 4)."""
+        carriers = [Footprint.from_offsets(8, [3]) for _ in range(3)]
+        others = [Footprint(8) for _ in range(12)]
+        assert vote(carriers + others, threshold=0.2).offsets() == [3]
+
+    def test_non_integer_products_still_round_up(self):
+        from repro.common.bitvec import votes_needed
+
+        assert votes_needed(0.2, 16) == 4  # 3.2 -> 4
+        assert votes_needed(0.5, 3) == 2  # 1.5 -> 2
+        assert votes_needed(0.01, 4) == 1  # floor of 1 vote
+
+
+@given(
+    footprints=st.lists(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        min_size=1,
+        max_size=12,
+    ),
+    threshold=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_vote_matches_naive_per_offset_count(footprints, threshold):
+    """The bit-parallel tally agrees with a per-offset reference count."""
+    from repro.common.bitvec import votes_needed
+
+    fps = [Footprint(32, bits) for bits in footprints]
+    needed = votes_needed(threshold, len(fps))
+    expected = [
+        offset
+        for offset in range(32)
+        if sum(fp.bits >> offset & 1 for fp in fps) >= needed
+    ]
+    assert vote(fps, threshold).offsets() == expected

@@ -54,3 +54,49 @@ class TestChildren:
         group.reset()
         assert group.get("n") == 0
         assert group.child("sub").get("m") == 0
+
+
+class TestStatCounterHandles:
+    def test_handle_writes_are_visible_through_string_api(self):
+        group = StatGroup("x")
+        cell = group.counter("n")
+        cell.add()
+        cell.add(4)
+        cell.value += 2  # the bare hot-loop form
+        assert group.get("n") == 7
+        assert group.as_dict() == {"n": 7}
+        assert dict(group.walk()) == {"x.n": 7}
+
+    def test_handle_is_stable_and_preserves_prior_value(self):
+        group = StatGroup("x")
+        group.add("n", 3)
+        cell = group.counter("n")
+        assert cell.value == 3
+        assert group.counter("n") is cell
+
+    def test_string_add_and_set_write_through_the_handle(self):
+        group = StatGroup("x")
+        cell = group.counter("n")
+        group.add("n", 2)
+        assert cell.value == 2
+        group.set("n", 10)
+        assert cell.value == 10
+
+    def test_reset_zeroes_handles_in_place(self):
+        group = StatGroup("x")
+        cell = group.counter("n")
+        cell.add(5)
+        group.add("plain", 1)
+        group.reset()
+        assert cell.value == 0
+        assert group.get("n") == 0
+        assert group.get("plain") == 0
+        cell.add(2)  # handle must still be live after reset
+        assert group.get("n") == 2
+
+    def test_counters_snapshot_unwraps_handles(self):
+        group = StatGroup("x")
+        group.counter("n").add(3)
+        snapshot = group.counters()
+        assert snapshot == {"n": 3}
+        assert isinstance(snapshot["n"], int)

@@ -43,6 +43,35 @@ def test_compare_command(capsys):
     assert "nextline" in out and "stride" in out and "none" in out
 
 
+def test_sweep_command_parallel_with_cache(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    argv = [
+        "sweep", "-w", "streaming", "-p", "nextline",
+        "--parameter", "degree", "--values", "1", "2",
+        "--workers", "2", "--instructions", "3000", "--warmup", "500",
+    ]
+    assert cli.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "sweep of degree" in out
+    assert "2 executed" in out
+    # the re-run is answered entirely from the on-disk cache
+    assert cli.main(argv) == 0
+    assert "2 cache hits" in capsys.readouterr().out
+
+
+def test_sweep_command_no_cache(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    argv = [
+        "sweep", "-w", "streaming", "-p", "nextline",
+        "--parameter", "degree", "--values", "1", "--no-cache",
+        "--instructions", "3000", "--warmup", "500",
+    ]
+    assert cli.main(argv) == 0
+    assert cli.main(argv) == 0
+    assert "0 cache hits" in capsys.readouterr().out
+    assert not list(tmp_path.rglob("*.json"))
+
+
 def test_experiment_table1(capsys):
     assert cli.main(["experiment", "table1"]) == 0
     assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Determinism: serial, multi-process, and cached runs are bit-identical.
+
+The executor's contract is that a :class:`SimJob` is a pure function of
+its spec — the same job run in-process, fanned out over worker
+processes, or answered from the on-disk cache must produce identical
+``SimResult`` fields, down to the float bits.
+"""
+
+import random
+
+from repro.common.config import small_system
+from repro.sim.executor import Executor, ResultCache, SimJob
+
+
+def make_jobs():
+    system = small_system(num_cores=4)
+    common = dict(
+        system=system,
+        instructions_per_core=2000,
+        warmup_instructions=500,
+        scale=0.02,
+    )
+    return [
+        SimJob.build("streaming", prefetcher="nextline", seed=7,
+                     prefetcher_kwargs={"degree": 2}, **common),
+        SimJob.build("em3d", prefetcher="bingo", seed=11, **common),
+        SimJob.build("streaming", prefetcher="none", seed=7, **common),
+    ]
+
+
+def as_dicts(results):
+    return [result.to_dict() for result in results]
+
+
+def test_serial_two_workers_and_cache_hit_agree(tmp_path):
+    jobs = make_jobs()
+    serial = as_dicts(Executor(workers=1).run_jobs(jobs))
+
+    parallel = as_dicts(Executor(workers=2).run_jobs(jobs))
+    assert parallel == serial
+
+    cache = ResultCache(tmp_path)
+    warm = Executor(workers=2, cache=cache)
+    assert as_dicts(warm.run_jobs(jobs)) == serial
+
+    hit = Executor(workers=1, cache=cache)
+    cached = as_dicts(hit.run_jobs(jobs))
+    assert hit.stats.get("cache_hits") == len(jobs)
+    assert cached == serial
+
+
+def test_global_rng_state_does_not_leak_into_results():
+    """Workload streams must derive all randomness from the job spec."""
+    job = make_jobs()[0]
+    random.seed(12345)
+    first = Executor(workers=1).run_job(job).to_dict()
+    random.seed(99999)
+    second = Executor(workers=1).run_job(job).to_dict()
+    assert first == second
+
+
+def test_runs_do_not_perturb_global_rng():
+    random.seed(42)
+    expected = random.random()
+    random.seed(42)
+    Executor(workers=1).run_job(make_jobs()[0])
+    assert random.random() == expected
