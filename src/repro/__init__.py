@@ -17,7 +17,9 @@ Public surface:
 * :mod:`repro.workloads` — Table II's workload suite by name;
 * :mod:`repro.prefetchers` — the baseline zoo (``make_prefetcher``);
 * :mod:`repro.core` — Bingo itself and its history structures;
-* :mod:`repro.experiments` — one driver per paper figure/table.
+* :mod:`repro.experiments` — one driver per paper figure/table;
+* :mod:`repro.obs` — decision traces, interval timelines, profiling
+  (``run_simulation(..., obs=ObservabilityConfig(trace_path="t.jsonl"))``).
 """
 
 from repro.common.config import (
@@ -27,6 +29,7 @@ from repro.common.config import (
     SystemConfig,
 )
 from repro.core.bingo import BingoPrefetcher
+from repro.obs.config import ObservabilityConfig
 from repro.prefetchers.registry import available_prefetchers, make_prefetcher
 from repro.sim.results import SimResult, speedup
 from repro.sim.runner import compare_prefetchers, run_simulation
@@ -39,6 +42,7 @@ __all__ = [
     "CoreConfig",
     "DramConfig",
     "SystemConfig",
+    "ObservabilityConfig",
     "BingoPrefetcher",
     "available_prefetchers",
     "make_prefetcher",

@@ -64,3 +64,21 @@ def export_rows(path: PathLike, rows: Rows, experiment: str = "") -> Path:
     if path.suffix == ".json":
         return write_json(path, rows, experiment)
     raise ValueError(f"unsupported export extension: {path.suffix!r}")
+
+
+def export_timeline(path: PathLike, result, label: str = "timeline") -> Path:
+    """Export a run's interval timeline as derived per-phase metric rows.
+
+    ``result`` is a :class:`repro.sim.results.SimResult` from a run with
+    ``ObservabilityConfig(timeline_interval=N)``; each row is one
+    interval's IPC/MPKI/coverage/accuracy (see
+    :func:`repro.obs.timeline.timeline_curves`).  Same extension rules
+    as :func:`export_rows`.
+    """
+    rows = result.timeline_curves()
+    if not rows:
+        raise ValueError(
+            "result has no timeline samples; run with "
+            "ObservabilityConfig(timeline_interval=N)"
+        )
+    return export_rows(path, rows, experiment=label)

@@ -4,6 +4,9 @@ Subcommands:
 
 * ``list`` — available workloads and prefetchers.
 * ``run`` — one workload under one prefetcher; prints the summary.
+  ``--trace out.jsonl`` records the decision/event trace, ``--timeline N``
+  prints per-phase IPC/MPKI/coverage curves, ``--profile`` shows the
+  simulator's own hot spots (see ``docs/observability.md``).
 * ``compare`` — one workload under several prefetchers + baseline.
 * ``sweep`` — one (workload, prefetcher) across values of one parameter,
   fanned out over ``--workers`` processes with on-disk result caching
@@ -64,6 +67,20 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1234)
     run_p.add_argument("--baseline", action="store_true",
                        help="also run the no-prefetcher baseline for speedup")
+    run_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a JSONL event trace (prefetch issues, "
+                            "demand hits/misses, vote decisions, evictions)")
+    run_p.add_argument("--trace-limit", type=int, default=0, metavar="N",
+                       help="stop tracing after N events (default: all)")
+    run_p.add_argument("--timeline", type=int, default=0, metavar="N",
+                       help="sample per-phase IPC/MPKI/coverage every N "
+                            "retired instructions and print the curve")
+    run_p.add_argument("--timeline-export", metavar="PATH", default=None,
+                       help="also write the timeline rows to PATH "
+                            "(.csv or .json; requires --timeline)")
+    run_p.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the hottest "
+                            "functions (simulator performance debugging)")
 
     cmp_p = sub.add_parser("compare", help="compare prefetchers on a workload")
     cmp_p.add_argument("--workload", "-w", required=True)
@@ -120,7 +137,17 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.obs import ObservabilityConfig, profile_call
+
+    if args.timeline_export and not args.timeline:
+        print("error: --timeline-export requires --timeline N", file=sys.stderr)
+        return 2
     instructions, warmup = _params(args)
+    obs = ObservabilityConfig(
+        trace_path=args.trace,
+        trace_limit=args.trace_limit,
+        timeline_interval=args.timeline,
+    )
     kwargs = dict(
         system=experiment_system(),
         instructions_per_core=instructions,
@@ -128,12 +155,45 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         scale=EXPERIMENT_SCALE,
     )
-    result = run_simulation(args.workload, prefetcher=args.prefetcher, **kwargs)
+
+    def simulate():
+        return run_simulation(
+            args.workload, prefetcher=args.prefetcher, obs=obs, **kwargs
+        )
+
+    result = profile_call(simulate, top=15) if args.profile else simulate()
     rows = [dict(metric=k, value=round(v, 4)) for k, v in result.summary().items()]
     if args.baseline and args.prefetcher != "none":
         baseline = run_simulation(args.workload, prefetcher="none", **kwargs)
         rows.append(dict(metric="speedup", value=round(speedup(result, baseline), 4)))
     print(format_table(rows, title=f"{args.workload} / {args.prefetcher}"))
+
+    if args.timeline:
+        curve_rows = [
+            {
+                metric: round(number, 4)
+                for metric, number in row.items()
+                if metric in ("instructions", "ipc", "mpki", "coverage",
+                              "accuracy", "prefetches_issued")
+            }
+            for row in result.timeline_curves()
+        ]
+        print()
+        print(
+            format_table(
+                curve_rows,
+                title=f"timeline (every {args.timeline} instructions)",
+            )
+        )
+        if args.timeline_export:
+            from repro.analysis.export import export_timeline
+
+            path = export_timeline(args.timeline_export, result)
+            print(f"\ntimeline exported to {path}")
+    if args.trace:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            events = sum(1 for line in fh if line.strip())
+        print(f"\ntrace: {events} events written to {args.trace}")
     return 0
 
 

@@ -117,6 +117,16 @@ class StatGroup:
             out[name] = group.as_dict()
         return out
 
+    def snapshot(self) -> Dict[str, Number]:
+        """Flat ``{dotted.path: value}`` copy of the whole tree.
+
+        The timeline recorder and the engine's measurement-window logic
+        both diff snapshots: for any partition of a run into intervals,
+        the per-interval deltas of a counter sum to its whole-run total
+        (the property suite pins this down).
+        """
+        return dict(self.walk())
+
     def walk(self, prefix: str = "") -> Iterator[Tuple[str, Number]]:
         """Yield ``(dotted.path, value)`` for every counter in the tree."""
         base = f"{prefix}{self.name}."
@@ -141,3 +151,15 @@ class StatGroup:
 
     def __repr__(self) -> str:
         return f"StatGroup({self.name!r}, {len(self._counters)} counters)"
+
+
+def snapshot_delta(
+    before: Dict[str, Number], after: Dict[str, Number]
+) -> Dict[str, Number]:
+    """Per-counter difference of two :meth:`StatGroup.snapshot` results.
+
+    Counters absent from ``before`` are treated as zero (counters
+    auto-create, so a later snapshot may contain paths an earlier one
+    does not; the reverse never happens without a ``reset``).
+    """
+    return {path: value - before.get(path, 0) for path, value in after.items()}

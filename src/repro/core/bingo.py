@@ -24,6 +24,7 @@ from repro.common.addresses import AddressMap
 from repro.common.bitvec import Footprint
 from repro.core.history import BingoHistoryTable
 from repro.core.regions import AccumulationTable, FilterTable, RegionRecord
+from repro.obs.events import VoteDecision
 from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
 
 
@@ -135,17 +136,45 @@ class BingoPrefetcher(Prefetcher):
         self, pc: int, block: int, region: int, offset: int
     ) -> List[PrefetchRequest]:
         match = self.history.lookup(pc, block, offset)
+        sink = self.sink
         if match is None:
             self.stats.add("lookup_misses")
+            if sink.enabled:
+                sink.emit(
+                    VoteDecision(
+                        pc=pc,
+                        block=block,
+                        region=region,
+                        offset=offset,
+                        matched="none",
+                        num_matches=0,
+                        threshold=self.history.vote_threshold,
+                        predicted=0,
+                    )
+                )
             return []
         self.stats.add("lookup_hits")
         self.stats.add(f"matched_{match.matched.name.lower()}")
         region_base_block = region << self._region_shift
-        return [
+        requests = [
             PrefetchRequest(block=region_base_block + o)
             for o in match.footprint.offsets()
             if o != offset
         ]
+        if sink.enabled:
+            sink.emit(
+                VoteDecision(
+                    pc=pc,
+                    block=block,
+                    region=region,
+                    offset=offset,
+                    matched=match.matched.name.lower(),
+                    num_matches=match.num_matches,
+                    threshold=self.history.vote_threshold,
+                    predicted=len(requests),
+                )
+            )
+        return requests
 
     # -- feedback throttle (optional extension) --------------------------------
     def on_prefetch_fill(self, block: int, time: float) -> None:

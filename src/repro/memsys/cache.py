@@ -22,6 +22,8 @@ from typing import Callable, Iterator, Optional, Tuple
 
 from repro.common.config import CacheConfig
 from repro.common.stats import StatGroup
+from repro.obs.events import Eviction
+from repro.obs.sinks import NULL_SINK, TraceSink
 
 
 class BlockState:
@@ -65,11 +67,15 @@ class Cache:
         name: str = "cache",
         on_evict: Optional[EvictionCallback] = None,
         stats: Optional[StatGroup] = None,
+        sink: TraceSink = NULL_SINK,
     ) -> None:
         self.config = config
         self.name = name
         self.on_evict = on_evict
         self.stats = stats if stats is not None else StatGroup(name)
+        # end-of-residency trace events; NULL_SINK keeps the eviction
+        # path at one attribute check when observability is off
+        self.sink = sink if sink is not None else NULL_SINK
         self.num_sets = config.sets
         self.ways = config.ways
         self._set_mask = self.num_sets - 1
@@ -115,6 +121,15 @@ class Cache:
             victim_block, victim_state = entries.popitem(last=False)
             victim = (victim_block, victim_state)
             self._evictions.value += 1
+            if self.sink.enabled:
+                self.sink.emit(
+                    Eviction(
+                        cache=self.name,
+                        block=victim_block,
+                        prefetched=victim_state.prefetched,
+                        used=victim_state.used,
+                    )
+                )
             if self.on_evict is not None:
                 self.on_evict(victim_block, victim_state)
         entries[block] = state
@@ -127,6 +142,15 @@ class Cache:
         state = entries.pop(block, None)
         if state is not None:
             self._invalidations.value += 1
+            if self.sink.enabled:
+                self.sink.emit(
+                    Eviction(
+                        cache=self.name,
+                        block=block,
+                        prefetched=state.prefetched,
+                        used=state.used,
+                    )
+                )
             if self.on_evict is not None:
                 self.on_evict(block, state)
         return state

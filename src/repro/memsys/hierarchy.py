@@ -26,6 +26,8 @@ from repro.memsys.cache import BlockState, Cache
 from repro.memsys.dram import DramModel
 from repro.memsys.mshr import MshrFile
 from repro.memsys.translation import RandomFirstTouchTranslator
+from repro.obs.events import DemandHit, DemandMiss, PrefetchFill, PrefetchIssued
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.prefetchers.base import AccessInfo, Prefetcher
 
 
@@ -82,6 +84,7 @@ class MemoryHierarchy:
         prefetchers: Optional[Sequence[Prefetcher]] = None,
         stats: Optional[StatGroup] = None,
         train_at: str = "llc",
+        sink: TraceSink = NULL_SINK,
     ) -> None:
         """``train_at`` selects where prefetchers observe traffic.
 
@@ -98,6 +101,9 @@ class MemoryHierarchy:
         self.config = config
         self.train_at = train_at
         self.stats = stats if stats is not None else StatGroup("memsys")
+        # One sink for the whole hierarchy; LLC traffic, prefetch issue,
+        # and prefetcher decisions all land in one ordered stream.
+        self.sink = sink if sink is not None else NULL_SINK
         amap = config.address_map
         self.address_map = amap
 
@@ -110,6 +116,7 @@ class MemoryHierarchy:
         self.prefetchers: List[Prefetcher] = list(prefetchers)
         for pf in self.prefetchers:
             pf.stats = self.stats.child("prefetcher").child(pf.name)
+            pf.sink = self.sink
 
         self.translator = RandomFirstTouchTranslator(
             amap, config.physical_pages, config.translation_seed
@@ -133,6 +140,7 @@ class MemoryHierarchy:
             name="llc",
             on_evict=self._handle_llc_eviction,
             stats=self.stats.child("llc"),
+            sink=self.sink,
         )
         self.dram = DramModel(
             config.dram, config.core, amap.block_size, self.stats.child("dram")
@@ -261,6 +269,7 @@ class MemoryHierarchy:
         state = self.llc.lookup(block)
         hit = state is not None
         result = AccessResult(latency=0.0)
+        sink = self.sink
 
         if hit:
             wait = max(0.0, state.ready_time - now)
@@ -279,8 +288,23 @@ class MemoryHierarchy:
             result.latency = cfg.llc.hit_latency + wait
             if is_write:
                 state.dirty = True
+            if sink.enabled:
+                sink.emit(
+                    DemandHit(
+                        time=now,
+                        core_id=core_id,
+                        pc=pc,
+                        block=block,
+                        covered=result.covered,
+                        late=result.late,
+                    )
+                )
         else:
             self._c_demand_misses.value += 1
+            if sink.enabled:
+                sink.emit(
+                    DemandMiss(time=now, core_id=core_id, pc=pc, block=block)
+                )
             dram_latency = self.dram.access(
                 now + cfg.llc.hit_latency, block << self._block_bits
             )
@@ -320,6 +344,7 @@ class MemoryHierarchy:
         issue_time: float,
     ) -> int:
         issued = 0
+        sink = self.sink
         for req in requests:
             block = req.block
             if block < 0:
@@ -340,6 +365,25 @@ class MemoryHierarchy:
             pf.on_prefetch_fill(block, ready)
             self._c_prefetches_issued.value += 1
             issued += 1
+            if sink.enabled:
+                # The latency model materialises the fill at issue, so
+                # the issue/fill pair is emitted back to back; replay
+                # checks lean on the pairing, not the timestamps.
+                sink.emit(
+                    PrefetchIssued(
+                        time=issue_time,
+                        core_id=core_id,
+                        address=block << self._block_bits,
+                        block=block,
+                        trigger_block=trigger_block,
+                        ready_time=ready,
+                    )
+                )
+                sink.emit(
+                    PrefetchFill(
+                        time=ready, core_id=core_id, block=block, ready_time=ready
+                    )
+                )
         return issued
 
     # -- end-of-run accounting ------------------------------------------------

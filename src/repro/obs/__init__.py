@@ -1,0 +1,68 @@
+"""Structured observability: decision traces, timelines, profiling.
+
+The simulator's counters say *how much* happened; this package records
+*what* happened.  Three pieces:
+
+* :mod:`repro.obs.events` — typed event records (``PrefetchIssued``,
+  ``DemandHit``, ``VoteDecision``, ...) emitted from the memory
+  hierarchy, the LLC, and Bingo's predictor;
+* :mod:`repro.obs.sinks` — where events go: a null sink (the default;
+  the hot path pays one attribute check), a ring buffer, a first-N
+  recorder, or a JSONL file, plus replay helpers that recompute counter
+  totals from a trace;
+* :mod:`repro.obs.timeline` — periodic :class:`~repro.common.stats.StatGroup`
+  snapshots turned into per-phase IPC/MPKI/coverage curves.
+
+:class:`ObservabilityConfig` bundles the knobs so a single picklable
+value can travel from the CLI through :class:`repro.sim.executor.SimJob`
+into worker processes.  ``repro.obs.golden`` (imported explicitly, not
+here — it pulls in the engine) records golden traces for the regression
+suite.
+"""
+
+from repro.obs.config import ObservabilityConfig
+from repro.obs.events import (
+    DemandHit,
+    DemandMiss,
+    Eviction,
+    PrefetchFill,
+    PrefetchIssued,
+    TraceEvent,
+    VoteDecision,
+    event_from_dict,
+)
+from repro.obs.profiling import profile_call
+from repro.obs.sinks import (
+    NULL_SINK,
+    JsonlSink,
+    NullSink,
+    RecordingSink,
+    RingBufferSink,
+    TraceSink,
+    read_trace,
+    replay_llc_counters,
+)
+from repro.obs.timeline import TimelineRecorder, timeline_curves
+
+__all__ = [
+    "ObservabilityConfig",
+    "TraceEvent",
+    "DemandHit",
+    "DemandMiss",
+    "Eviction",
+    "PrefetchFill",
+    "PrefetchIssued",
+    "VoteDecision",
+    "event_from_dict",
+    "TraceSink",
+    "NullSink",
+    "NULL_SINK",
+    "RingBufferSink",
+    "RecordingSink",
+    "JsonlSink",
+    "read_trace",
+    "replay_llc_counters",
+    "TimelineRecorder",
+    "timeline_curves",
+    "profile_call",
+]

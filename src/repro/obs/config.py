@@ -1,0 +1,55 @@
+"""The picklable bundle of observability knobs.
+
+One frozen value describes everything a run should record, so it can be
+carried inside a :class:`repro.sim.executor.SimJob` across process
+boundaries and folded into the job's cache digest.  A default-constructed
+config means "observe nothing" and adds no cost to the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What a run records.
+
+    * ``trace_path`` — write a JSONL event trace here (``None`` = off).
+      Tracing is a *side effect*: results of tracing jobs are never
+      served from (or stored in) the executor's on-disk cache, because a
+      cached result cannot regenerate the trace file.
+    * ``trace_limit`` — stop tracing after this many events (0 = all).
+    * ``timeline_interval`` — sample the stat tree every N retired
+      instructions (0 = off).  Timeline samples live *inside* the
+      :class:`~repro.sim.results.SimResult`, so timeline jobs cache
+      normally; the interval is part of the digest.
+    """
+
+    trace_path: Optional[str] = None
+    trace_limit: int = 0
+    timeline_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trace_limit < 0:
+            raise ValueError(f"trace_limit must be >= 0, got {self.trace_limit}")
+        if self.timeline_interval < 0:
+            raise ValueError(
+                f"timeline_interval must be >= 0, got {self.timeline_interval}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when this config records anything at all."""
+        return bool(self.trace_path) or self.timeline_interval > 0
+
+    @property
+    def has_side_effects(self) -> bool:
+        """True when a run under this config writes outside its result.
+
+        The executor must not answer such a job from the cache: the
+        caller asked for an artifact (the trace file) that only a real
+        run produces.
+        """
+        return bool(self.trace_path)

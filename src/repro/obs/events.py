@@ -1,0 +1,218 @@
+"""Typed trace-event records.
+
+Each event is a ``__slots__`` class (they are allocated on the
+simulator's hot path whenever a sink is enabled) with a string ``kind``
+discriminator and a flat, JSON-encodable ``to_dict``.  The dict form is
+the interchange format: JSONL traces, golden fixtures, and the replay
+helpers all operate on it, and :func:`event_from_dict` reverses it.
+
+Events carry *simulated* quantities only — block numbers, core ids,
+cycle timestamps — never wall-clock or process state, so a trace is as
+deterministic as the run that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+
+class TraceEvent:
+    """Base class: ``kind`` discriminator + dict (de)serialisation."""
+
+    __slots__ = ()
+
+    #: discriminator stored in the ``kind`` field of the dict form
+    kind: str = "event"
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind}
+        for name in self.__slots__:
+            out[name] = getattr(self, name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        payload = {k: v for k, v in data.items() if k != "kind"}
+        return cls(**payload)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:  # events are value objects
+        return hash(tuple(sorted(self.to_dict().items())))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self.__slots__
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class DemandHit(TraceEvent):
+    """A demand access found its block in the LLC.
+
+    ``covered`` marks the first demand use of a prefetched block (the
+    paper's *covered miss*); ``late`` additionally marks that the
+    prefetch's fill had not yet completed, so part of the latency was
+    still exposed.
+    """
+
+    __slots__ = ("time", "core_id", "pc", "block", "covered", "late")
+    kind = "demand_hit"
+
+    def __init__(
+        self,
+        time: float,
+        core_id: int,
+        pc: int,
+        block: int,
+        covered: bool = False,
+        late: bool = False,
+    ) -> None:
+        self.time = time
+        self.core_id = core_id
+        self.pc = pc
+        self.block = block
+        self.covered = covered
+        self.late = late
+
+
+class DemandMiss(TraceEvent):
+    """A demand access missed the LLC and went to DRAM."""
+
+    __slots__ = ("time", "core_id", "pc", "block")
+    kind = "demand_miss"
+
+    def __init__(self, time: float, core_id: int, pc: int, block: int) -> None:
+        self.time = time
+        self.core_id = core_id
+        self.pc = pc
+        self.block = block
+
+
+class PrefetchIssued(TraceEvent):
+    """The hierarchy accepted a prefetch candidate and sent it to DRAM.
+
+    ``address`` is the block's byte address (always block-aligned);
+    ``trigger_block`` is the demand access that produced the candidate.
+    """
+
+    __slots__ = ("time", "core_id", "address", "block", "trigger_block",
+                 "ready_time")
+    kind = "prefetch_issued"
+
+    def __init__(
+        self,
+        time: float,
+        core_id: int,
+        address: int,
+        block: int,
+        trigger_block: int,
+        ready_time: float,
+    ) -> None:
+        self.time = time
+        self.core_id = core_id
+        self.address = address
+        self.block = block
+        self.trigger_block = trigger_block
+        self.ready_time = ready_time
+
+
+class PrefetchFill(TraceEvent):
+    """An issued prefetch's fill completed (at ``ready_time``).
+
+    The latency-based hierarchy materialises fills at issue, so this is
+    emitted immediately after its :class:`PrefetchIssued` — the pair
+    exists so replay and conformance checks can assert fills are only
+    ever recorded for issued prefetches.
+    """
+
+    __slots__ = ("time", "core_id", "block", "ready_time")
+    kind = "prefetch_fill"
+
+    def __init__(
+        self, time: float, core_id: int, block: int, ready_time: float
+    ) -> None:
+        self.time = time
+        self.core_id = core_id
+        self.block = block
+        self.ready_time = ready_time
+
+
+class Eviction(TraceEvent):
+    """A block left a cache (capacity eviction or invalidation).
+
+    ``prefetched and not used`` identifies an overprediction; ``cache``
+    names the emitting cache (the hierarchy wires the LLC only).
+    """
+
+    __slots__ = ("cache", "block", "prefetched", "used")
+    kind = "eviction"
+
+    def __init__(
+        self, cache: str, block: int, prefetched: bool, used: bool
+    ) -> None:
+        self.cache = cache
+        self.block = block
+        self.prefetched = prefetched
+        self.used = used
+
+
+class VoteDecision(TraceEvent):
+    """One Bingo history consultation at a trigger access.
+
+    ``matched`` is ``"pc_address"`` (long event), ``"pc_offset"`` (short
+    event, possibly voted), or ``"none"`` (cold lookup).
+    ``num_matches`` counts the footprints that matched — greater than
+    one only for voted short-event lookups — and ``predicted`` counts
+    the blocks the (possibly voted) footprint put forward.
+    """
+
+    __slots__ = ("pc", "block", "region", "offset", "matched",
+                 "num_matches", "threshold", "predicted")
+    kind = "vote_decision"
+
+    def __init__(
+        self,
+        pc: int,
+        block: int,
+        region: int,
+        offset: int,
+        matched: str,
+        num_matches: int,
+        threshold: float,
+        predicted: int,
+    ) -> None:
+        self.pc = pc
+        self.block = block
+        self.region = region
+        self.offset = offset
+        self.matched = matched
+        self.num_matches = num_matches
+        self.threshold = threshold
+        self.predicted = predicted
+
+
+#: kind -> event class, for deserialisation
+EVENT_KINDS: Dict[str, Type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        DemandHit,
+        DemandMiss,
+        PrefetchIssued,
+        PrefetchFill,
+        Eviction,
+        VoteDecision,
+    )
+}
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    """Rebuild a typed event from its dict form (inverse of ``to_dict``)."""
+    try:
+        cls = EVENT_KINDS[data["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown event kind in {data!r}") from None
+    return cls.from_dict(data)

@@ -1,0 +1,41 @@
+"""Lightweight cProfile wrapper for "why is this run slow?" sessions.
+
+Deliberately minimal: one function that profiles a callable and prints
+the top-k hot spots.  It backs ``bingo-sim run --profile`` and is usable
+directly from a REPL::
+
+    from repro.obs import profile_call
+    result = profile_call(lambda: run_simulation("em3d", "bingo"))
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from typing import Callable, Optional, TextIO, TypeVar
+
+T = TypeVar("T")
+
+
+def profile_call(
+    fn: Callable[[], T],
+    top: int = 15,
+    sort: str = "cumulative",
+    stream: Optional[TextIO] = None,
+) -> T:
+    """Run ``fn`` under cProfile; print the ``top`` entries; return its result.
+
+    ``sort`` is any :mod:`pstats` sort key (``"cumulative"``,
+    ``"tottime"``, ...).  Output goes to ``stream`` (default: stdout).
+    """
+    if top <= 0:
+        raise ValueError(f"top must be positive, got {top}")
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    (stream or sys.stdout).write(buffer.getvalue())
+    return result

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.common.addresses import AddressMap
 from repro.common.stats import StatGroup
+from repro.obs.sinks import NULL_SINK, TraceSink
 
 
 class AccessInfo:
@@ -77,7 +78,10 @@ class Prefetcher:
 
     Subclasses override :meth:`on_access` (mandatory) and the notification
     hooks they care about.  ``self.stats`` is wired by the hierarchy so
-    per-prefetcher counters land in the run's stat tree.
+    per-prefetcher counters land in the run's stat tree; ``self.sink`` is
+    wired the same way, and defaults to the null sink so decision-trace
+    emission (e.g. Bingo's :class:`~repro.obs.events.VoteDecision`) costs
+    one attribute check when observability is off.
     """
 
     #: Registry name; subclasses set this (e.g. "bingo", "sms").
@@ -86,6 +90,7 @@ class Prefetcher:
     def __init__(self, address_map: Optional[AddressMap] = None) -> None:
         self.address_map = address_map if address_map is not None else AddressMap()
         self.stats = StatGroup(self.name)
+        self.sink: TraceSink = NULL_SINK
         self.degree_limit: Optional[int] = None
 
     # -- mandatory hook ----------------------------------------------------

@@ -23,6 +23,9 @@ from repro.common.config import SystemConfig
 from repro.common.stats import StatGroup
 from repro.cpu.core import CoreTimingModel
 from repro.memsys.hierarchy import MemoryHierarchy
+from repro.obs.config import ObservabilityConfig
+from repro.obs.sinks import NULL_SINK, TraceSink, build_sink
+from repro.obs.timeline import TimelineRecorder
 from repro.prefetchers.base import Prefetcher
 from repro.prefetchers.registry import make_prefetcher
 from repro.sim.results import CoreResult, SimResult
@@ -56,11 +59,24 @@ class SimulationEngine:
         prefetcher_kwargs: Optional[dict] = None,
         prefetchers: Optional[Sequence[Prefetcher]] = None,
         train_at: str = "llc",
+        obs: Optional[ObservabilityConfig] = None,
+        sink: Optional[TraceSink] = None,
     ) -> None:
+        """``obs`` selects what the run records (trace file, timeline);
+        ``sink`` overrides the trace destination with a ready-made
+        :class:`~repro.obs.sinks.TraceSink` (ring buffers, recorders).
+        A sink built *here* from ``obs.trace_path`` is owned by the
+        engine and closed when :meth:`run` returns."""
         self.workload = workload
         self.system = system if system is not None else SystemConfig()
         self.params = params if params is not None else SimulationParams()
         self.prefetcher_name = prefetcher
+        self.obs = obs if obs is not None else ObservabilityConfig()
+        self._owns_sink = False
+        if sink is None:
+            sink = build_sink(self.obs)
+            self._owns_sink = sink is not None
+        self.sink = sink if sink is not None else NULL_SINK
 
         if workload.num_cores != self.system.num_cores:
             raise ValueError(
@@ -87,11 +103,27 @@ class SimulationEngine:
             self.prefetchers,
             stats=self.stats.child("memsys"),
             train_at=train_at,
+            sink=self.sink,
         )
         self.cores = [
             CoreTimingModel(self.system.core, stats=self.stats.child(f"core{i}"))
             for i in range(self.system.num_cores)
         ]
+
+        # Interval timeline: sample the LLC/DRAM counters and per-core
+        # progress every N retired instructions (across all cores).
+        memsys = self.stats.child("memsys")
+        self.timeline: Optional[TimelineRecorder] = (
+            TimelineRecorder(
+                self.obs.timeline_interval,
+                llc_stats=memsys.child("llc"),
+                dram_stats=memsys.child("dram"),
+            )
+            if self.obs.timeline_interval
+            else None
+        )
+        self._retired_total = 0
+        self._next_sample = self.obs.timeline_interval
 
     # -- phases -----------------------------------------------------------
     def _run_until(self, streams, budget_per_core: int) -> None:
@@ -111,6 +143,7 @@ class SimulationEngine:
             if core.instructions < budget_per_core
         ]
         heapq.heapify(heap)
+        recorder = self.timeline  # None when the timeline is disabled
         while heap:
             _, core_id = heapq.heappop(heap)
             core = self.cores[core_id]
@@ -125,6 +158,11 @@ class SimulationEngine:
                 )
             else:
                 core.retire_compute()
+            if recorder is not None:
+                self._retired_total += 1
+                if self._retired_total >= self._next_sample:
+                    recorder.sample(self._retired_total, self.cores)
+                    self._next_sample += recorder.interval
             if core.instructions < budget_per_core:
                 heapq.heappush(heap, (core.next_issue_time(), core_id))
 
@@ -136,16 +174,32 @@ class SimulationEngine:
             for core_id in range(self.system.num_cores)
         }
 
-        if params.warmup_instructions:
-            self._run_until(streams, params.warmup_instructions)
-        snapshot = dict(self.stats.walk())
-        core_marks = [(core.instructions, core.time) for core in self.cores]
+        try:
+            if params.warmup_instructions:
+                self._run_until(streams, params.warmup_instructions)
+            snapshot = self.stats.snapshot()
+            core_marks = [(core.instructions, core.time) for core in self.cores]
 
-        self._run_until(streams, params.instructions_per_core)
-        self.hierarchy.finalize()
-        final = dict(self.stats.walk())
+            self._run_until(streams, params.instructions_per_core)
+            self.hierarchy.finalize()
+            final = self.stats.snapshot()
 
-        return self._build_result(snapshot, final, core_marks)
+            recorder = self.timeline
+            if recorder is not None:
+                # Close the last (possibly partial) interval so the
+                # timeline's deltas sum to the whole-run totals.
+                if self._retired_total > recorder.last_instructions():
+                    recorder.sample(self._retired_total, self.cores)
+                timeline = list(recorder.samples)
+            else:
+                timeline = []
+
+            result = self._build_result(snapshot, final, core_marks)
+            result.timeline = timeline
+            return result
+        finally:
+            if self._owns_sink:
+                self.sink.close()
 
     # -- result assembly -----------------------------------------------------------
     def _delta(self, snapshot: Dict[str, float], final: Dict[str, float],

@@ -37,11 +37,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.common.stats import StatGroup
+from repro.obs.config import ObservabilityConfig
 from repro.sim.engine import SimulationEngine, SimulationParams
 from repro.sim.results import SimResult
 
 #: bump when the cache entry layout (not the simulated semantics) changes
-CACHE_SCHEMA = 1
+#: schema 2: job specs carry the observability config (timeline samples
+#: live in the result, so two runs differing only in ``timeline_interval``
+#: must not share a cache entry)
+CACHE_SCHEMA = 2
 
 KwargItems = Tuple[Tuple[str, object], ...]
 
@@ -80,6 +84,7 @@ class SimJob:
     seed: int = 1234
     scale: float = 1.0
     train_at: str = "llc"
+    obs: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     @classmethod
     def build(
@@ -93,6 +98,7 @@ class SimJob:
         scale: float = 1.0,
         prefetcher_kwargs: Optional[dict] = None,
         train_at: str = "llc",
+        obs: Optional[ObservabilityConfig] = None,
     ) -> "SimJob":
         """Mirror of :func:`repro.sim.runner.run_simulation`'s signature."""
         return cls(
@@ -107,6 +113,7 @@ class SimJob:
             seed=seed,
             scale=scale,
             train_at=train_at,
+            obs=obs if obs is not None else ObservabilityConfig(),
         )
 
     def spec(self) -> Dict[str, object]:
@@ -120,7 +127,21 @@ class SimJob:
             "seed": self.seed,
             "scale": self.scale,
             "train_at": self.train_at,
+            # The observability config shapes the *result* (timeline
+            # samples) and the run's side effects (trace files), so it
+            # is part of the identity of a cached entry.
+            "obs": _canonical(asdict(self.obs)),
         }
+
+    @property
+    def cacheable(self) -> bool:
+        """False when the run has side effects a cached result can't replay.
+
+        A ``--trace`` job must execute for real every time: serving it
+        from the cache would return counters without (re)writing the
+        trace file the caller asked for.
+        """
+        return not self.obs.has_side_effects
 
     def digest(self) -> str:
         """Stable cache key: job spec + code version + cache schema."""
@@ -151,6 +172,7 @@ def execute_job(job: SimJob) -> SimResult:
         params=job.params,
         prefetcher_kwargs=dict(job.prefetcher_kwargs) or None,
         train_at=job.train_at,
+        obs=job.obs,
     )
     return engine.run()
 
@@ -251,7 +273,8 @@ class Executor:
     consulted first and populated afterwards.
 
     ``stats`` counters: ``jobs``, ``cache_hits``, ``cache_misses``,
-    ``executed``, ``run_seconds`` (wall-clock of the execution phase).
+    ``cache_skipped`` (uncacheable side-effecting jobs), ``executed``,
+    ``run_seconds`` (wall-clock of the execution phase).
     """
 
     def __init__(
@@ -285,12 +308,17 @@ class Executor:
                 pending[digest].append(index)
                 continue
             if self.cache is not None:
-                hit = self.cache.load(job)
-                if hit is not None:
-                    self.stats.add("cache_hits")
-                    results[index] = hit
-                    continue
-                self.stats.add("cache_misses")
+                if not job.cacheable:
+                    # Side-effecting jobs (event tracing) must run for
+                    # real: a cached result cannot rewrite the trace.
+                    self.stats.add("cache_skipped")
+                else:
+                    hit = self.cache.load(job)
+                    if hit is not None:
+                        self.stats.add("cache_hits")
+                        results[index] = hit
+                        continue
+                    self.stats.add("cache_misses")
             pending[digest] = [index]
             pending_jobs.append(job)
 
@@ -300,7 +328,7 @@ class Executor:
             self.stats.add("run_seconds", time.perf_counter() - start)
             self.stats.add("executed", len(pending_jobs))
             for job, result in zip(pending_jobs, executed):
-                if self.cache is not None:
+                if self.cache is not None and job.cacheable:
                     self.cache.store(job, result)
                 for index in pending[job.digest()]:
                     results[index] = result

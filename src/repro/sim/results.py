@@ -56,6 +56,9 @@ class SimResult:
     #: measurement-window deltas of the prefetcher's own counters
     #: (triggers, lookup_hits, commits, ...), aggregated over cores
     prefetcher_counters: Dict[str, float] = field(default_factory=dict)
+    #: cumulative stat samples taken every ``timeline_interval`` retired
+    #: instructions (see :mod:`repro.obs.timeline`); empty when disabled
+    timeline: List[Dict[str, object]] = field(default_factory=list)
     raw_stats: Dict[str, object] = field(default_factory=dict)
 
     def prefetcher_ratio(self, numerator: str, denominator: str) -> float:
@@ -138,6 +141,18 @@ class SimResult:
     def baseline_mpki_estimate(self) -> float:
         instr = self.instructions
         return self.baseline_miss_estimate / instr * 1000 if instr else 0.0
+
+    def timeline_curves(self) -> List[Dict[str, float]]:
+        """Per-interval IPC/MPKI/coverage/accuracy rows (whole run).
+
+        Empty unless the run sampled a timeline
+        (``ObservabilityConfig(timeline_interval=N)``).  Intervals span
+        warm-up and measurement alike — that is the point: the curves
+        show *phases*, where the headline metrics show the window.
+        """
+        from repro.obs.timeline import timeline_curves
+
+        return timeline_curves(self.timeline)
 
     def summary(self) -> Dict[str, float]:
         """The numbers every report prints, in one flat dict."""

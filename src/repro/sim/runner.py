@@ -30,6 +30,8 @@ def run_simulation(
     prefetcher_kwargs: Optional[dict] = None,
     prefetchers=None,
     train_at: str = "llc",
+    obs=None,
+    sink=None,
 ) -> SimResult:
     """Run one workload under one prefetcher; returns the measured window.
 
@@ -39,6 +41,10 @@ def run_simulation(
     Fig. 10 aggressive variants); ``prefetchers`` may instead supply
     ready-built per-core instances (used by the motivation experiments
     that need to interrogate the prefetcher afterwards).
+
+    ``obs`` (an :class:`repro.obs.ObservabilityConfig`) turns on event
+    tracing and/or timeline sampling; ``sink`` supplies a ready-made
+    :class:`repro.obs.TraceSink` instead of a trace file.
     """
     engine = SimulationEngine(
         workload=_resolve_workload(workload, seed, scale),
@@ -51,6 +57,8 @@ def run_simulation(
         prefetcher_kwargs=prefetcher_kwargs,
         prefetchers=prefetchers,
         train_at=train_at,
+        obs=obs,
+        sink=sink,
     )
     return engine.run()
 

@@ -72,6 +72,64 @@ def test_sweep_command_no_cache(capsys, tmp_path, monkeypatch):
     assert not list(tmp_path.rglob("*.json"))
 
 
+def test_run_with_trace_writes_jsonl(capsys, tmp_path):
+    trace = tmp_path / "run.jsonl"
+    code = cli.main(
+        ["run", "-w", "streaming", "-p", "nextline",
+         "--instructions", "3000", "--warmup", "500",
+         "--trace", str(trace)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"events written to {trace}" in out
+    assert trace.is_file() and trace.stat().st_size > 0
+
+
+def test_run_with_trace_limit(tmp_path):
+    trace = tmp_path / "run.jsonl"
+    assert cli.main(
+        ["run", "-w", "streaming", "-p", "nextline",
+         "--instructions", "3000", "--warmup", "500",
+         "--trace", str(trace), "--trace-limit", "10"]
+    ) == 0
+    assert len(trace.read_text(encoding="utf-8").splitlines()) == 10
+
+
+def test_run_with_timeline_table_and_export(capsys, tmp_path):
+    export = tmp_path / "timeline.csv"
+    code = cli.main(
+        ["run", "-w", "streaming", "-p", "nextline",
+         "--instructions", "3000", "--warmup", "500",
+         "--timeline", "1000", "--timeline-export", str(export)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out and "mpki" in out
+    assert export.is_file()
+    assert "instructions" in export.read_text(encoding="utf-8").splitlines()[0]
+
+
+def test_timeline_export_requires_timeline(capsys, tmp_path):
+    code = cli.main(
+        ["run", "-w", "streaming", "-p", "nextline",
+         "--instructions", "3000",
+         "--timeline-export", str(tmp_path / "t.csv")]
+    )
+    assert code == 2
+    assert "--timeline" in capsys.readouterr().err
+
+
+def test_run_with_profile(capsys):
+    code = cli.main(
+        ["run", "-w", "streaming", "-p", "nextline",
+         "--instructions", "3000", "--warmup", "500", "--profile"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cumulative" in out  # the cProfile table made it to stdout
+    assert "coverage" in out    # and the normal report still printed
+
+
 def test_experiment_table1(capsys):
     assert cli.main(["experiment", "table1"]) == 0
     assert "Table I" in capsys.readouterr().out

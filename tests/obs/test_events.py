@@ -1,0 +1,68 @@
+"""Typed trace events: dict round-trips, equality, the kind registry."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    DemandHit,
+    DemandMiss,
+    Eviction,
+    PrefetchFill,
+    PrefetchIssued,
+    VoteDecision,
+    event_from_dict,
+)
+
+SAMPLES = [
+    DemandHit(time=10.0, core_id=1, pc=0x400, block=64, covered=True, late=False),
+    DemandMiss(time=11.0, core_id=0, pc=0x404, block=65),
+    PrefetchIssued(time=12.0, core_id=2, address=66 * 64, block=66,
+                   trigger_block=65, ready_time=80.0),
+    PrefetchFill(time=80.0, core_id=2, block=66, ready_time=80.0),
+    Eviction(cache="llc", block=67, prefetched=True, used=False),
+    VoteDecision(pc=0x400, block=68, region=2, offset=4, matched="pc_offset",
+                 num_matches=3, threshold=0.2, predicted=7),
+]
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+def test_dict_round_trip(event):
+    data = event.to_dict()
+    assert data["kind"] == event.kind
+    rebuilt = event_from_dict(data)
+    assert type(rebuilt) is type(event)
+    assert rebuilt == event
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+def test_dict_form_is_json_encodable(event):
+    parsed = json.loads(json.dumps(event.to_dict()))
+    assert event_from_dict(parsed) == event
+
+
+def test_every_kind_is_registered():
+    assert set(EVENT_KINDS) == {
+        "demand_hit", "demand_miss", "prefetch_issued", "prefetch_fill",
+        "eviction", "vote_decision",
+    }
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown event kind"):
+        event_from_dict({"kind": "warp_drive"})
+
+
+def test_equality_is_by_value():
+    a = DemandMiss(time=1.0, core_id=0, pc=1, block=2)
+    b = DemandMiss(time=1.0, core_id=0, pc=1, block=2)
+    c = DemandMiss(time=1.0, core_id=0, pc=1, block=3)
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+
+
+def test_repr_names_fields():
+    event = Eviction(cache="llc", block=5, prefetched=False, used=True)
+    assert "Eviction" in repr(event) and "block=5" in repr(event)

@@ -1,0 +1,140 @@
+"""Sinks: the null guard, ring buffers, first-N recording, JSONL files."""
+
+import pytest
+
+from repro.obs.config import ObservabilityConfig
+from repro.obs.events import DemandMiss
+from repro.obs.sinks import (
+    NULL_SINK,
+    JsonlSink,
+    NullSink,
+    RecordingSink,
+    RingBufferSink,
+    build_sink,
+    read_trace,
+    replay_llc_counters,
+)
+from repro.obs.events import PrefetchFill, PrefetchIssued
+
+
+def miss(i):
+    return DemandMiss(time=float(i), core_id=0, pc=0x400, block=i)
+
+
+class TestNullSink:
+    def test_module_singleton_is_disabled(self):
+        assert NULL_SINK.enabled is False
+        assert isinstance(NULL_SINK, NullSink)
+
+    def test_emit_is_a_no_op(self):
+        NULL_SINK.emit(miss(1))  # must not raise
+
+
+class TestRingBufferSink:
+    def test_keeps_only_the_last_capacity_events(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.emit(miss(i))
+        assert len(sink) == 3
+        assert [e.block for e in sink.events] == [7, 8, 9]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestRecordingSink:
+    def test_keeps_the_first_limit_events_then_disables(self):
+        sink = RecordingSink(limit=3)
+        for i in range(3):
+            sink.emit(miss(i))
+        assert sink.enabled is False
+        assert [e.block for e in sink.events] == [0, 1, 2]
+
+    def test_unlimited_by_default(self):
+        sink = RecordingSink()
+        for i in range(100):
+            sink.emit(miss(i))
+        assert sink.enabled is True
+        assert len(sink) == 100
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(miss(1))
+            sink.emit(miss(2))
+        assert sink.count == 2
+        events = read_trace(path)
+        assert events == [miss(1), miss(2)]
+
+    def test_limit_truncates_and_disables(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path, limit=2) as sink:
+            for i in range(5):
+                if sink.enabled:
+                    sink.emit(miss(i))
+        assert sink.count == 2
+        assert len(read_trace(path)) == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestBuildSink:
+    def test_none_when_tracing_disabled(self):
+        assert build_sink(None) is None
+        assert build_sink(ObservabilityConfig()) is None
+        assert build_sink(ObservabilityConfig(timeline_interval=100)) is None
+
+    def test_jsonl_when_path_given(self, tmp_path):
+        config = ObservabilityConfig(
+            trace_path=str(tmp_path / "t.jsonl"), trace_limit=7
+        )
+        sink = build_sink(config)
+        assert isinstance(sink, JsonlSink)
+        assert sink.limit == 7
+        sink.close()
+
+
+class TestReplay:
+    def test_counts_by_kind(self):
+        events = [
+            miss(1),
+            PrefetchIssued(time=1.0, core_id=0, address=2 * 64, block=2,
+                           trigger_block=1, ready_time=5.0),
+            PrefetchFill(time=5.0, core_id=0, block=2, ready_time=5.0),
+        ]
+        totals = replay_llc_counters(events)
+        assert totals["demand_misses"] == 1
+        assert totals["prefetches_issued"] == 1
+        assert totals["prefetch_fills"] == 1
+
+    def test_fill_without_issue_is_rejected(self):
+        orphan = PrefetchFill(time=5.0, core_id=0, block=9, ready_time=5.0)
+        with pytest.raises(ValueError, match="never issued"):
+            replay_llc_counters([orphan])
+
+
+class TestObservabilityConfig:
+    def test_default_is_fully_disabled(self):
+        config = ObservabilityConfig()
+        assert not config.enabled
+        assert not config.has_side_effects
+
+    def test_trace_implies_side_effects(self):
+        config = ObservabilityConfig(trace_path="t.jsonl")
+        assert config.enabled and config.has_side_effects
+
+    def test_timeline_alone_has_no_side_effects(self):
+        config = ObservabilityConfig(timeline_interval=500)
+        assert config.enabled and not config.has_side_effects
+
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ValueError):
+            ObservabilityConfig(trace_limit=-1)
+        with pytest.raises(ValueError):
+            ObservabilityConfig(timeline_interval=-1)

@@ -1,0 +1,106 @@
+"""Timelines: engine sampling, delta algebra, curves, export, caching."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import export_timeline
+from repro.common.config import small_system
+from repro.obs.config import ObservabilityConfig
+from repro.obs.timeline import timeline_curves
+from repro.sim.results import SimResult
+from repro.sim.runner import run_simulation
+
+RUN_KWARGS = dict(
+    system=small_system(num_cores=4),
+    instructions_per_core=6000,
+    warmup_instructions=1000,
+    seed=11,
+    scale=0.02,
+)
+
+
+@pytest.fixture(scope="module")
+def timeline_result():
+    return run_simulation(
+        "em3d",
+        prefetcher="bingo",
+        obs=ObservabilityConfig(timeline_interval=2000),
+        **RUN_KWARGS,
+    )
+
+
+def test_samples_cover_the_whole_run(timeline_result):
+    samples = timeline_result.timeline
+    # 4 cores x 6000 instructions = 24000 retired; every 2000 -> 12
+    # interval samples, the last of which closes the run exactly.
+    assert len(samples) == 12
+    assert [s["instructions"] for s in samples] == list(
+        range(2000, 24001, 2000)
+    )
+
+
+def test_final_sample_equals_run_totals(timeline_result):
+    llc = timeline_result.raw_stats["memsys"]["llc"]
+    last = timeline_result.timeline[-1]["llc"]
+    for counter in ("demand_accesses", "demand_misses", "covered",
+                    "prefetches_issued"):
+        assert last.get(counter, 0) == llc.get(counter, 0)
+
+
+def test_interval_deltas_sum_to_totals(timeline_result):
+    rows = timeline_curves(timeline_result.timeline)
+    llc = timeline_result.raw_stats["memsys"]["llc"]
+    assert sum(r["demand_misses"] for r in rows) == llc["demand_misses"]
+    assert sum(r["covered"] for r in rows) == llc["covered"]
+    assert sum(r["interval_instructions"] for r in rows) == 24000
+
+
+def test_curves_expose_the_warmup_phase(timeline_result):
+    rows = timeline_result.timeline_curves()
+    assert len(rows) == len(timeline_result.timeline)
+    for row in rows:
+        assert row["ipc"] > 0
+        assert row["mpki"] >= 0
+        assert 0.0 <= row["coverage"] <= 1.0
+        assert 0.0 <= row["accuracy"] <= 1.0
+
+
+def test_disabled_timeline_is_empty():
+    result = run_simulation("em3d", prefetcher="none", **RUN_KWARGS)
+    assert result.timeline == []
+    assert result.timeline_curves() == []
+
+
+def test_partial_final_interval_is_closed():
+    result = run_simulation(
+        "em3d",
+        prefetcher="none",
+        obs=ObservabilityConfig(timeline_interval=7000),
+        **RUN_KWARGS,
+    )
+    positions = [s["instructions"] for s in result.timeline]
+    # 24000 retired: full samples at 7k/14k/21k plus the closing partial
+    assert positions == [7000, 14000, 21000, 24000]
+
+
+def test_timeline_survives_result_round_trip(timeline_result):
+    data = json.loads(json.dumps(timeline_result.to_dict()))
+    rebuilt = SimResult.from_dict(data)
+    assert rebuilt.timeline_curves() == timeline_result.timeline_curves()
+
+
+def test_export_timeline_csv_and_json(tmp_path, timeline_result):
+    csv_path = export_timeline(tmp_path / "curve.csv", timeline_result)
+    header = csv_path.read_text(encoding="utf-8").splitlines()[0]
+    assert "ipc" in header and "mpki" in header and "coverage" in header
+
+    json_path = export_timeline(tmp_path / "curve.json", timeline_result)
+    document = json.loads(json_path.read_text(encoding="utf-8"))
+    assert len(document["rows"]) == len(timeline_result.timeline)
+
+
+def test_export_timeline_requires_samples(tmp_path):
+    result = run_simulation("em3d", prefetcher="none", **RUN_KWARGS)
+    with pytest.raises(ValueError, match="no timeline samples"):
+        export_timeline(tmp_path / "curve.csv", result)

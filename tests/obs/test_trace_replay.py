@@ -1,0 +1,111 @@
+"""The observability layer's correctness invariant.
+
+A JSONL trace is only trustworthy if it is *complete*: replaying its
+events must reproduce the run's final counter totals exactly.  These
+tests pin that equivalence for a prefetching run and a baseline run,
+and check the decision-level content (Bingo's vote decisions) against
+the prefetcher's own counters.
+"""
+
+import pytest
+
+from repro.common.config import small_system
+from repro.obs.config import ObservabilityConfig
+from repro.obs.sinks import RecordingSink, read_trace, replay_llc_counters
+from repro.sim.runner import run_simulation
+
+RUN_KWARGS = dict(
+    system=small_system(num_cores=4),
+    instructions_per_core=8000,
+    warmup_instructions=1000,
+    seed=11,
+    scale=0.02,
+)
+
+
+def traced_run(tmp_path, prefetcher):
+    trace = tmp_path / "trace.jsonl"
+    result = run_simulation(
+        "em3d",
+        prefetcher=prefetcher,
+        obs=ObservabilityConfig(trace_path=str(trace)),
+        **RUN_KWARGS,
+    )
+    return result, read_trace(trace)
+
+
+@pytest.mark.parametrize("prefetcher", ["bingo", "bop"])
+def test_replayed_trace_matches_final_llc_totals(tmp_path, prefetcher):
+    result, events = traced_run(tmp_path, prefetcher)
+    llc = result.raw_stats["memsys"]["llc"]
+    replay = replay_llc_counters(events)
+
+    assert replay["demand_accesses"] == llc["demand_accesses"]
+    assert replay["demand_hits"] == llc["demand_hits"]
+    assert replay["demand_misses"] == llc["demand_misses"]
+    assert replay["covered"] == llc["covered"]
+    assert replay["late_covered"] == llc["late_covered"]
+    assert replay["prefetches_issued"] == llc["prefetches_issued"]
+    assert replay["prefetch_fills"] == llc["prefetches_issued"]
+    assert replay["evictions"] == llc["evictions"] + llc.get("invalidations", 0)
+    assert replay["overpredictions"] == llc["overpredictions"]
+    # the run actually exercised the paths being replayed
+    assert replay["demand_accesses"] > 0
+    assert replay["prefetches_issued"] > 0
+    assert replay["evictions"] > 0
+
+
+def test_baseline_run_emits_no_prefetch_events(tmp_path):
+    result, events = traced_run(tmp_path, "none")
+    kinds = {event.kind for event in events}
+    assert "prefetch_issued" not in kinds
+    assert "prefetch_fill" not in kinds
+    assert "vote_decision" not in kinds
+    replay = replay_llc_counters(events)
+    llc = result.raw_stats["memsys"]["llc"]
+    assert replay["demand_misses"] == llc["demand_misses"]
+
+
+def test_bingo_vote_decisions_match_lookup_counters(tmp_path):
+    result, events = traced_run(tmp_path, "bingo")
+    votes = [event for event in events if event.kind == "vote_decision"]
+    assert votes, "bingo run produced no vote decisions"
+
+    # One decision per history consultation: hits + misses, summed over
+    # the four per-core prefetcher instances.
+    pf_stats = result.raw_stats["memsys"]["prefetcher"]["bingo"]
+    lookups = pf_stats.get("lookup_hits", 0) + pf_stats.get("lookup_misses", 0)
+    assert len(votes) == lookups
+
+    matched = [vote for vote in votes if vote.matched != "none"]
+    assert len(matched) == pf_stats.get("lookup_hits", 0)
+    for vote in matched:
+        assert vote.matched in ("pc_address", "pc_offset")
+        assert vote.num_matches >= 1
+    for vote in votes:
+        if vote.matched == "none":
+            assert vote.num_matches == 0 and vote.predicted == 0
+
+
+def test_covered_hits_refer_to_previously_issued_prefetches(tmp_path):
+    _result, events = traced_run(tmp_path, "bingo")
+    issued = set()
+    covered = 0
+    for event in events:
+        if event.kind == "prefetch_issued":
+            issued.add(event.block)
+        elif event.kind == "demand_hit" and event.covered:
+            covered += 1
+            # A hit can only be credited to the prefetcher if the block
+            # was brought in by a prefetch that appears earlier in the
+            # trace; an orphan covered hit would mean a lost event.
+            assert event.block in issued
+    assert covered > 0
+
+
+def test_in_memory_sink_sees_the_same_stream_as_jsonl(tmp_path):
+    sink = RecordingSink()
+    in_memory = run_simulation("em3d", prefetcher="bingo", sink=sink, **RUN_KWARGS)
+    on_disk, events = traced_run(tmp_path, "bingo")
+    assert [e.to_dict() for e in sink.events] == [e.to_dict() for e in events]
+    assert in_memory.to_dict() == on_disk.to_dict()

@@ -73,3 +73,74 @@ def test_never_crashes_on_arbitrary_streams(name, blocks):
     for time, block in enumerate(blocks):
         requests = pf.on_access(make_info(block, time=float(time)))
         assert len(requests) < 1000  # no unbounded fan-out
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestTraceConformance:
+    """Every prefetcher, run in a real engine under a recording sink,
+    must produce a well-formed event stream."""
+
+    _cache = {}
+
+    @pytest.fixture
+    def traced(self, name):
+        # one engine run per prefetcher, shared by all four checks
+        if name not in self._cache:
+            from repro.common.config import small_system
+            from repro.obs.sinks import RecordingSink
+            from repro.sim.runner import run_simulation
+
+            sink = RecordingSink()
+            result = run_simulation(
+                "em3d",
+                prefetcher=name,
+                sink=sink,
+                system=small_system(num_cores=4),
+                instructions_per_core=4000,
+                warmup_instructions=500,
+                seed=11,
+                scale=0.02,
+            )
+            self._cache[name] = (result, sink.events)
+        return self._cache[name]
+
+    def test_prefetch_addresses_are_block_aligned(self, name, traced):
+        _result, events = traced
+        block_bytes = 64
+        for event in events:
+            if event.kind == "prefetch_issued":
+                assert event.address % block_bytes == 0
+                assert event.address // block_bytes == event.block
+                assert event.ready_time >= event.time
+
+    def test_fills_only_for_issued_prefetches(self, name, traced):
+        _result, events = traced
+        issued, filled = set(), set()
+        for event in events:
+            if event.kind == "prefetch_issued":
+                issued.add(event.block)
+            elif event.kind == "prefetch_fill":
+                assert event.block in issued
+                filled.add(event.block)
+        assert filled == issued
+
+    def test_vote_decisions_come_only_from_bingo(self, name, traced):
+        _result, events = traced
+        votes = [e for e in events if e.kind == "vote_decision"]
+        if name == "bingo":
+            assert votes
+            for vote in votes:
+                assert vote.matched in ("none", "pc_address", "pc_offset")
+                assert 0.0 < vote.threshold <= 1.0
+        else:
+            assert not votes
+
+    def test_demand_events_cover_every_llc_access(self, name, traced):
+        result, events = traced
+        llc = result.raw_stats["memsys"]["llc"]
+        demands = [e for e in events
+                   if e.kind in ("demand_hit", "demand_miss")]
+        assert len(demands) == llc["demand_accesses"]
+        for event in demands:
+            assert 0 <= event.core_id < 4
+            assert event.block >= 0 and event.time >= 0.0

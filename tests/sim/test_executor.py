@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.common.config import small_system
+from repro.obs.config import ObservabilityConfig
 from repro.sim.executor import (
     CACHE_SCHEMA,
     Executor,
@@ -138,6 +139,54 @@ class TestExecutor:
         assert executor.stats.get("jobs") == 1
         assert executor.stats.get("executed") == 1
         assert executor.stats.get("run_seconds") > 0
+
+
+class TestObservabilityCaching:
+    """Traced jobs must never be served from cache: a cached SimResult
+    cannot recreate the trace file the caller asked for."""
+
+    def test_obs_config_changes_the_digest(self):
+        plain = quick_job()
+        timeline = quick_job(obs=ObservabilityConfig(timeline_interval=500))
+        traced = quick_job(obs=ObservabilityConfig(trace_path="t.jsonl"))
+        assert len({plain.digest(), timeline.digest(),
+                    traced.digest()}) == 3
+
+    def test_traced_job_is_not_cacheable(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        job = quick_job(obs=ObservabilityConfig(trace_path=str(trace)))
+        assert not job.cacheable
+        assert quick_job().cacheable
+
+        cache = ResultCache(tmp_path / "cache")
+        executor = Executor(workers=1, cache=cache)
+        executor.run_job(job)
+        assert trace.is_file()
+        assert executor.stats.get("cache_skipped") == 1
+        assert cache.load(job) is None  # never stored
+
+        # rerunning must re-execute and rewrite the trace, not hit cache
+        trace.unlink()
+        again = Executor(workers=1, cache=cache)
+        again.run_job(job)
+        assert trace.is_file() and trace.stat().st_size > 0
+        assert again.stats.get("executed") == 1
+        assert again.stats.get("cache_hits") == 0
+
+    def test_timeline_job_caches_with_samples_intact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = quick_job(obs=ObservabilityConfig(timeline_interval=1000))
+        assert job.cacheable
+
+        first = Executor(workers=1, cache=cache)
+        live = first.run_job(job)
+        assert live.timeline, "timeline job produced no samples"
+
+        second = Executor(workers=1, cache=cache)
+        cached = second.run_job(job)
+        assert second.stats.get("cache_hits") == 1
+        assert cached.timeline == live.timeline
+        assert cached.timeline_curves() == live.timeline_curves()
 
 
 class TestParallelEntryPoints:

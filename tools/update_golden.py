@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-trace fixtures under tests/golden/.
+
+Run this after an *intentional* behaviour change (a bug fix, a new
+event field, a prefetcher retune) flags a diff in
+``tests/integration/test_golden_traces.py``::
+
+    PYTHONPATH=src python tools/update_golden.py          # all fixtures
+    PYTHONPATH=src python tools/update_golden.py bingo    # one prefetcher
+
+Then review ``git diff tests/golden/`` — the point of the suite is that
+every behavioural delta shows up here as reviewable JSON, so never
+regenerate to silence a diff you cannot explain.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.golden import GOLDEN_PREFETCHERS, write_golden  # noqa: E402
+
+GOLDEN_DIR = REPO / "tests" / "golden"
+
+
+def main(argv=None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or list(
+        GOLDEN_PREFETCHERS
+    )
+    unknown = [name for name in names if name not in GOLDEN_PREFETCHERS]
+    if unknown:
+        print(
+            f"unknown prefetcher(s) {unknown}; golden suite covers "
+            f"{list(GOLDEN_PREFETCHERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        path = write_golden(GOLDEN_DIR, name)
+        print(f"wrote {path.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
