@@ -1,0 +1,39 @@
+"""Differential correctness harness.
+
+The timed simulator in :mod:`repro.memsys` / :mod:`repro.sim` is tuned
+for speed: OrderedDict caches, hoisted counter cells, heap-managed MSHR
+files.  This package re-derives the *observable decisions* of a run from
+deliberately naive, untimed reference models and diffs the two:
+
+* :mod:`repro.check.reference` — set-semantics cache models (an
+  explicit-recency L1, a membership-map LLC) with none of the timing
+  machinery;
+* :mod:`repro.check.refbingo` — a dict-based, unbounded per-page-history
+  Bingo that files footprints under exact long/short events with no
+  table geometry;
+* :mod:`repro.check.differential` — a :class:`~repro.obs.sinks.TraceSink`
+  that replays the live event stream through the references and reports
+  the first divergence with flight-recorder context;
+* :mod:`repro.check.invariants` — a sink asserting conservation laws
+  (hits + misses + covered == accesses, MSHR occupancy bounds, region
+  table disjointness, commit accounting) against the live counters.
+
+Entry point: :func:`repro.check.differential.run_check`, wired into
+``bingo-sim check`` and the executor's ``--check`` mode.
+"""
+
+from repro.check.differential import CheckReport, DifferentialChecker, run_check
+from repro.check.invariants import InvariantChecker, InvariantViolation
+from repro.check.reference import ReferenceL1, ReferenceLlc
+from repro.check.refbingo import ReferenceBingo
+
+__all__ = [
+    "CheckReport",
+    "DifferentialChecker",
+    "InvariantChecker",
+    "InvariantViolation",
+    "ReferenceBingo",
+    "ReferenceL1",
+    "ReferenceLlc",
+    "run_check",
+]

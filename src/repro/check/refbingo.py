@@ -1,0 +1,202 @@
+"""An unbounded, dict-based reference Bingo.
+
+This model follows Section IV of the paper directly — filter table,
+accumulation table, unified history, dual long/short lookup with 20 %
+voting — but with *no table geometry*: every structure is a plain dict
+keyed by the exact event, so there are no sets, no ways, and no
+replacement policy to get wrong.
+
+The finite tables of :class:`repro.core.bingo.BingoPrefetcher` diverge
+from an unbounded model exactly when capacity forces their hand; those
+moments are traced (:class:`~repro.obs.events.RegionDrop`, capacity
+:class:`~repro.obs.events.RegionCommit`,
+:class:`~repro.obs.events.HistoryEvict`) and applied here as *sync*
+steps, after which the two models must agree again.  This works because
+the history's set index is a function of the short event alone: every
+entry a short lookup could match lives in one set, so with capacity
+evictions mirrored, the unbounded dict sees exactly the same candidate
+footprints as the finite table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.bitvec import Footprint, vote
+from repro.core.events import Event, EventKind
+
+
+@dataclass
+class RefRegion:
+    """A live region: trigger identity plus the growing footprint."""
+
+    trigger_pc: int
+    trigger_offset: int
+    trigger_block: int
+    footprint: Footprint
+
+
+@dataclass
+class RefHistoryEntry:
+    """One filed footprint with its short-event components."""
+
+    pc: int
+    offset: int
+    footprint: Footprint
+
+
+@dataclass(frozen=True)
+class RefDecision:
+    """The reference's answer at a trigger access.
+
+    Mirrors :class:`~repro.obs.events.VoteDecision`: ``matched`` is
+    ``"pc_address"`` / ``"pc_offset"`` / ``"none"``, ``footprint`` is
+    the predicted pattern (None on a cold lookup).
+    """
+
+    matched: str
+    num_matches: int
+    footprint: Optional[Footprint]
+
+    def candidates(self, region: int, trigger_offset: int) -> List[int]:
+        """Candidate block numbers, ascending, minus the trigger block."""
+        if self.footprint is None:
+            return []
+        base = region * self.footprint.width
+        return [
+            base + offset
+            for offset in self.footprint.offsets()
+            if offset != trigger_offset
+        ]
+
+
+class ReferenceBingo:
+    """Per-core functional Bingo over unbounded dicts."""
+
+    def __init__(
+        self,
+        blocks_per_region: int = 32,
+        vote_threshold: float = 0.20,
+    ) -> None:
+        self.blocks_per_region = blocks_per_region
+        self.vote_threshold = vote_threshold
+        self.filter: Dict[int, RefRegion] = {}
+        self.accumulation: Dict[int, RefRegion] = {}
+        #: long-event key -> entry (one footprint per long event, exactly
+        #: like the finite table's replace-on-tag-match insert)
+        self.history: Dict[int, RefHistoryEntry] = {}
+        #: short event (pc, offset) -> the long keys filed under it
+        self._short_index: Dict[Tuple[int, int], Set[int]] = {}
+
+    # -- address helpers ---------------------------------------------------
+    def _split(self, block: int) -> Tuple[int, int]:
+        return block // self.blocks_per_region, block % self.blocks_per_region
+
+    @staticmethod
+    def _long_key(pc: int, block: int, offset: int) -> int:
+        return Event.from_trigger(EventKind.PC_ADDRESS, pc, block, offset).key
+
+    # -- the access path ----------------------------------------------------
+    def on_access(self, pc: int, block: int) -> Optional[RefDecision]:
+        """One trained access; returns a decision only at a trigger."""
+        region, offset = self._split(block)
+        record = self.accumulation.get(region)
+        if record is not None:
+            record.footprint.set(offset)
+            return None
+        record = self.filter.get(region)
+        if record is not None:
+            if record.trigger_offset == offset:
+                return None
+            del self.filter[region]
+            record.footprint.set(offset)
+            self.accumulation[region] = record
+            return None
+        footprint = Footprint(self.blocks_per_region)
+        footprint.set(offset)
+        self.filter[region] = RefRegion(
+            trigger_pc=pc,
+            trigger_offset=offset,
+            trigger_block=block,
+            footprint=footprint,
+        )
+        return self._predict(pc, block, offset)
+
+    def _predict(self, pc: int, block: int, offset: int) -> RefDecision:
+        entry = self.history.get(self._long_key(pc, block, offset))
+        if entry is not None:
+            return RefDecision(
+                matched="pc_address",
+                num_matches=1,
+                footprint=entry.footprint.copy(),
+            )
+        keys = self._short_index.get((pc, offset))
+        if not keys:
+            return RefDecision(matched="none", num_matches=0, footprint=None)
+        matches = [self.history[key].footprint for key in keys]
+        if len(matches) == 1:
+            return RefDecision(
+                matched="pc_offset", num_matches=1, footprint=matches[0].copy()
+            )
+        return RefDecision(
+            matched="pc_offset",
+            num_matches=len(matches),
+            footprint=vote(matches, self.vote_threshold),
+        )
+
+    # -- residency closure ----------------------------------------------------
+    def on_llc_eviction(self, block: int) -> Optional[Tuple[int, RefRegion]]:
+        """Apply one LLC eviction; returns the region record that must be
+        committed (and has been removed here), or None.
+
+        Mirrors the fixed end-of-residency rule: a residency closes only
+        when the evicted block is actually in the region's footprint —
+        an untouched region block leaving the cache says nothing about
+        the live blocks.
+        """
+        region, offset = self._split(block)
+        record = self.accumulation.get(region)
+        if record is not None:
+            if not record.footprint.test(offset):
+                return None
+            del self.accumulation[region]
+            return region, record
+        record = self.filter.get(region)
+        if record is not None and record.trigger_offset == offset:
+            del self.filter[region]  # single-access region: trains nothing
+        return None
+
+    # -- history filing ------------------------------------------------------
+    def insert_history(
+        self, pc: int, trigger_block: int, offset: int, footprint: Footprint
+    ) -> None:
+        key = self._long_key(pc, trigger_block, offset)
+        self.history[key] = RefHistoryEntry(
+            pc=pc, offset=offset, footprint=footprint.copy()
+        )
+        self._short_index.setdefault((pc, offset), set()).add(key)
+
+    # -- capacity sync (driven by the trace's capacity events) ----------------
+    def sync_filter_drop(self, region: int) -> bool:
+        """The finite filter displaced ``region``; forget it here too."""
+        return self.filter.pop(region, None) is not None
+
+    def sync_capacity_commit(self, region: int) -> Optional[RefRegion]:
+        """The finite accumulation table recycled ``region``'s entry.
+
+        Returns the removed record so the caller can diff it against the
+        traced commit before filing it via :meth:`insert_history`.
+        """
+        return self.accumulation.pop(region, None)
+
+    def sync_history_evict(self, key: int, pc: int, offset: int) -> bool:
+        """The finite history displaced the entry tagged ``key``."""
+        if self.history.pop(key, None) is None:
+            return False
+        keys = self._short_index.get((pc, offset))
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._short_index[(pc, offset)]
+        return True

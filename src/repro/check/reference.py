@@ -1,0 +1,101 @@
+"""Untimed, set-semantics reference cache models.
+
+These deliberately share *no code* with :mod:`repro.memsys.cache`: the
+L1 keeps explicit per-set recency lists instead of an ``OrderedDict``,
+and the LLC is a plain membership map whose evictions are driven by the
+simulator's own :class:`~repro.obs.events.Eviction` stream rather than a
+replacement policy.  Anything the two implementations disagree on is a
+bug in one of them — which is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class RefBlock:
+    """LLC-side reference state: just the prefetch bookkeeping bits."""
+
+    __slots__ = ("prefetched", "used")
+
+    def __init__(self, prefetched: bool = False, used: bool = False) -> None:
+        self.prefetched = prefetched
+        self.used = used
+
+    def __repr__(self) -> str:
+        return f"RefBlock(prefetched={self.prefetched}, used={self.used})"
+
+
+class ReferenceL1:
+    """A true-LRU set-associative cache as explicit recency lists.
+
+    Each set is a list of block numbers ordered LRU-first; a hit moves
+    the block to the tail, a fill appends and drops the head when the
+    set is full (L1 victims vanish — the hierarchy is non-inclusive and
+    nothing downstream observes them).
+    """
+
+    def __init__(self, sets: int, ways: int) -> None:
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(f"sets must be a positive power of two, got {sets}")
+        self.sets = sets
+        self.ways = ways
+        self._mask = sets - 1
+        self._recency: List[List[int]] = [[] for _ in range(sets)]
+
+    def lookup(self, block: int) -> bool:
+        """Hit test; a hit refreshes the block's recency (like hardware)."""
+        entries = self._recency[block & self._mask]
+        try:
+            entries.remove(block)
+        except ValueError:
+            return False
+        entries.append(block)
+        return True
+
+    def fill(self, block: int) -> Optional[int]:
+        """Insert ``block``; returns the silently dropped victim, if any."""
+        entries = self._recency[block & self._mask]
+        if block in entries:
+            # A fill of a resident block just refreshes it (the timed
+            # model never does this for the L1, but be well defined).
+            entries.remove(block)
+            entries.append(block)
+            return None
+        victim = entries.pop(0) if len(entries) >= self.ways else None
+        entries.append(block)
+        return victim
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._recency)
+
+
+class ReferenceLlc:
+    """A membership map over the LLC's resident blocks.
+
+    Fills come from the demand/prefetch event stream, removals from the
+    :class:`~repro.obs.events.Eviction` stream — so the reference never
+    picks victims itself and instead *verifies* the flags carried by
+    every eviction against its independently tracked state.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, RefBlock] = {}
+
+    def resident(self, block: int) -> bool:
+        return block in self._blocks
+
+    def lookup(self, block: int) -> Optional[RefBlock]:
+        return self._blocks.get(block)
+
+    def fill_demand(self, block: int) -> None:
+        self._blocks[block] = RefBlock(prefetched=False, used=True)
+
+    def fill_prefetch(self, block: int) -> None:
+        self._blocks[block] = RefBlock(prefetched=True, used=False)
+
+    def evict(self, block: int) -> Optional[RefBlock]:
+        return self._blocks.pop(block, None)
+
+    def __len__(self) -> int:
+        return len(self._blocks)

@@ -10,9 +10,15 @@ Subcommands:
 * ``compare`` — one workload under several prefetchers + baseline.
 * ``sweep`` — one (workload, prefetcher) across values of one parameter,
   fanned out over ``--workers`` processes with on-disk result caching
-  (``--no-cache`` to disable, ``REPRO_CACHE_DIR`` to relocate).
+  (``--no-cache`` to disable, ``REPRO_CACHE_DIR`` to relocate);
+  ``--check`` runs every point under the strict invariant checker and
+  bypasses the cache.
 * ``experiment`` — regenerate a paper table/figure by id (e.g. ``fig8``);
   ``--workers N`` parallelises the underlying run matrix.
+* ``check`` — differential correctness harness: replays a (workload ×
+  prefetcher) matrix against untimed reference models plus the runtime
+  invariant checker and reports the first divergence, if any (see
+  ``docs/correctness.md``).
 """
 
 from __future__ import annotations
@@ -111,6 +117,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="skip the on-disk result cache "
                               "($REPRO_CACHE_DIR or ~/.cache/repro)")
+    sweep_p.add_argument("--check", action="store_true",
+                         help="run every sweep point under the strict "
+                              "runtime invariant checker (bypasses the "
+                              "result cache)")
+
+    check_p = sub.add_parser(
+        "check",
+        help="differential correctness check against reference models",
+    )
+    check_p.add_argument("--workload", "-w", action="append", default=None,
+                         dest="workloads", metavar="NAME",
+                         help="workload to check; repeatable (default: "
+                              "streaming, em3d, data_serving)")
+    check_p.add_argument("--prefetcher", "-p", action="append", default=None,
+                         dest="prefetchers", metavar="NAME",
+                         help="prefetcher to check; repeatable (default: "
+                              "bingo, sms, bop, spp)")
+    check_p.add_argument("--instructions", type=int, default=8000,
+                         help="instructions per core (default: 8000)")
+    check_p.add_argument("--warmup", type=int, default=1000)
+    check_p.add_argument("--seed", type=int, default=11)
+    check_p.add_argument("--scale", type=float, default=0.02,
+                         help="workload footprint scale (default: 0.02)")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("id", choices=sorted(EXPERIMENTS))
@@ -250,6 +279,7 @@ def _cmd_sweep(args) -> int:
     executor = Executor(
         workers=args.workers,
         cache=None if args.no_cache else ResultCache(),
+        check=args.check,
     )
     results = sweep_prefetcher_parameter(
         args.workload,
@@ -290,6 +320,33 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check import run_check
+
+    workloads = args.workloads or ["streaming", "em3d", "data_serving"]
+    prefetchers = args.prefetchers or ["bingo", "sms", "bop", "spp"]
+    failures = 0
+    for workload in workloads:
+        for prefetcher in prefetchers:
+            report = run_check(
+                workload,
+                prefetcher=prefetcher,
+                instructions_per_core=args.instructions,
+                warmup_instructions=args.warmup,
+                seed=args.seed,
+                scale=args.scale,
+            )
+            print(report.summary())
+            if not report.ok:
+                failures += 1
+    total = len(workloads) * len(prefetchers)
+    if failures:
+        print(f"\nFAIL: {failures}/{total} checks diverged", file=sys.stderr)
+        return 1
+    print(f"\nOK: {total} checks, no divergences")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     if args.workers is not None:
         import os
@@ -316,6 +373,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "check":
+        return _cmd_check(args)
     return _cmd_experiment(args)
 
 

@@ -18,13 +18,13 @@ threshold for multi-match short-event lookups.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.common.addresses import AddressMap
 from repro.common.bitvec import Footprint
 from repro.core.history import BingoHistoryTable
 from repro.core.regions import AccumulationTable, FilterTable, RegionRecord
-from repro.obs.events import VoteDecision
+from repro.obs.events import HistoryEvict, RegionCommit, RegionDrop, VoteDecision
 from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
 
 
@@ -41,6 +41,9 @@ class BingoPrefetcher(Prefetcher):
     _THROTTLE_WINDOW = 256  # judged prefetches per accuracy estimate
     _THROTTLE_LOW = 0.40  # below this, switch to the conservative vote
     _CONSERVATIVE_VOTE = 0.60
+    #: bound on prefetches awaiting judgement; overflow retires the oldest
+    #: as unused so the set cannot grow with the footprint of the run
+    _INFLIGHT_CAP = 4096
 
     def __init__(
         self,
@@ -72,8 +75,11 @@ class BingoPrefetcher(Prefetcher):
             blocks_per_region=self.blocks_per_region,
             vote_threshold=vote_threshold,
             short_match_policy=short_match_policy,
+            on_evict=self._history_evicted,
         )
-        self.filter_table = FilterTable(sets=filter_sets, ways=filter_ways)
+        self.filter_table = FilterTable(
+            sets=filter_sets, ways=filter_ways, on_drop=self._filter_dropped
+        )
         self.accumulation_table = AccumulationTable(
             on_commit=self._commit_region,
             sets=accumulation_sets,
@@ -82,13 +88,30 @@ class BingoPrefetcher(Prefetcher):
         self._region_shift = self.blocks_per_region.bit_length() - 1
         self.throttle = throttle
         self.base_vote_threshold = vote_threshold
-        self._inflight_prefetches: set = set()
+        # Ordered dict used as a FIFO set: insertion order = fill order,
+        # so overflow retires the *oldest* unjudged prefetch.
+        self._inflight_prefetches: Dict[int, None] = {}
         self._judged_used = 0
         self._judged_total = 0
+        # Why the next commit happened; on_eviction flips this to
+        # "residency" around the explicit evict so traced RegionCommits
+        # carry their cause (capacity commits come from table pressure).
+        self._commit_cause = "capacity"
 
     # -- training plumbing --------------------------------------------------
     def _commit_region(self, region: int, record: RegionRecord) -> None:
         """End of residency: move the footprint into the history table."""
+        if self.sink.enabled:
+            self.sink.emit(
+                RegionCommit(
+                    region=region,
+                    pc=record.trigger_pc,
+                    offset=record.trigger_offset,
+                    trigger_block=record.trigger_block,
+                    footprint=record.footprint.bits,
+                    cause=self._commit_cause,
+                )
+            )
         self.history.insert(
             record.trigger_pc,
             record.trigger_block,
@@ -96,6 +119,16 @@ class BingoPrefetcher(Prefetcher):
             record.footprint,
         )
         self.stats.add("commits")
+
+    def _filter_dropped(self, region: int, record: RegionRecord) -> None:
+        """Filter-table capacity displaced a single-access region."""
+        if self.sink.enabled:
+            self.sink.emit(RegionDrop(region=region))
+
+    def _history_evicted(self, key: int, pc: int, offset: int) -> None:
+        """History-table capacity displaced a stored footprint."""
+        if self.sink.enabled:
+            self.sink.emit(HistoryEvict(key=key, pc=pc, offset=offset))
 
     # -- the access path -----------------------------------------------------
     def on_access(self, info: AccessInfo) -> List[PrefetchRequest]:
@@ -178,14 +211,37 @@ class BingoPrefetcher(Prefetcher):
 
     # -- feedback throttle (optional extension) --------------------------------
     def on_prefetch_fill(self, block: int, time: float) -> None:
+        if not self.throttle:
+            return
+        if block in self._inflight_prefetches:
+            self._inflight_prefetches.pop(block)  # re-filled: refresh order
+        elif len(self._inflight_prefetches) >= self._INFLIGHT_CAP:
+            # A block prefetched long ago and never demanded nor evicted
+            # (e.g. still resident at run end) must not pin the set
+            # forever: retire the oldest as unused.
+            self._inflight_prefetches.pop(next(iter(self._inflight_prefetches)))
+            self._record_outcome(False)
+            self.stats.add("inflight_overflow")
+        self._inflight_prefetches[block] = None
+
+    def on_prefetch_used(self, block: int) -> None:
+        """A demand hit consumed one of our prefetches: judge it *now*.
+
+        Waiting for the block's eviction (the old behaviour) both delayed
+        the accuracy estimate and — for blocks that are never evicted —
+        leaked ``_inflight_prefetches`` entries without bound.
+        """
         if self.throttle:
-            self._inflight_prefetches.add(block)
+            self._judge(block, True)
 
     def _judge(self, block: int, was_used: bool) -> None:
         """Record the outcome of one of our own prefetches."""
         if block not in self._inflight_prefetches:
             return
-        self._inflight_prefetches.discard(block)
+        del self._inflight_prefetches[block]
+        self._record_outcome(was_used)
+
+    def _record_outcome(self, was_used: bool) -> None:
         self._judged_total += 1
         if was_used:
             self._judged_used += 1
@@ -201,14 +257,34 @@ class BingoPrefetcher(Prefetcher):
 
     # -- residency tracking ---------------------------------------------------
     def on_eviction(self, block: int, was_used: bool) -> None:
-        """A block left the LLC: close its region's residency if tracked."""
+        """A block left the LLC: close its region's residency if tracked.
+
+        Only an eviction of a block the region actually *recorded* ends
+        the residency: an unrelated region block (never accessed, or a
+        rejected prefetch) leaving the cache says nothing about the live
+        blocks, and closing on it would commit truncated footprints.
+        """
         if self.throttle:
             self._judge(block, was_used)
         region = self.address_map.region_of_block(block)
-        if self.accumulation_table.lookup(region) is not None:
-            self.accumulation_table.evict(region)  # commits via callback
-        else:
-            self.filter_table.remove(region)
+        offset = self.address_map.offset_of_block(block)
+        record = self.accumulation_table.peek(region)
+        if record is not None:
+            if record.footprint.test(offset):
+                self._commit_cause = "residency"
+                try:
+                    self.accumulation_table.evict(region)  # commits via callback
+                finally:
+                    self._commit_cause = "capacity"
+            else:
+                self.stats.add("residency_early_close")
+            return
+        record = self.filter_table.peek(region)
+        if record is not None:
+            if record.trigger_offset == offset:
+                self.filter_table.remove(region)
+            else:
+                self.stats.add("residency_early_close")
 
     def reset(self) -> None:
         """Drop all learned state: history, filter, accumulation, feedback."""

@@ -21,7 +21,7 @@ paper found best — or, optionally, the most recent match wins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.common.bitvec import Footprint, vote
 from repro.common.hashing import fold
@@ -65,6 +65,7 @@ class BingoHistoryTable:
         blocks_per_region: int = 32,
         vote_threshold: float = 0.20,
         short_match_policy: str = "vote",
+        on_evict: Optional[Callable[[int, int, int], None]] = None,
     ) -> None:
         if entries % ways:
             raise ValueError(f"entries ({entries}) must be a multiple of ways ({ways})")
@@ -83,9 +84,19 @@ class BingoHistoryTable:
         self.short_match_policy = short_match_policy
         self._index_bits = max(1, sets.bit_length() - 1) if sets > 1 else 0
         self._sets = sets
+        # ``on_evict(key, pc, offset)`` reports a capacity-displaced entry
+        # by its long-event tag and short-event components; the check
+        # harness mirrors the displacement in its unbounded reference.
+        self._on_evict = on_evict
         self._table: SetAssociativeTable[_HistoryPayload] = SetAssociativeTable(
-            sets=sets, ways=ways, policy="lru"
+            sets=sets,
+            ways=ways,
+            policy="lru",
+            on_evict=self._handle_evict if on_evict is not None else None,
         )
+
+    def _handle_evict(self, tag: int, payload: _HistoryPayload) -> None:
+        self._on_evict(tag, payload.pc, payload.offset)
 
     # -- event plumbing ------------------------------------------------------
     def _set_index(self, pc: int, offset: int) -> int:

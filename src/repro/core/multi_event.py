@@ -27,6 +27,7 @@ from repro.common.bitvec import Footprint
 from repro.core.events import EventKind, LONGEST_TO_SHORTEST
 from repro.core.multi_history import CascadedHistoryTables
 from repro.core.regions import AccumulationTable, FilterTable, RegionRecord
+from repro.obs.events import RegionCommit, RegionDrop
 from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
 
 
@@ -56,7 +57,9 @@ class MultiEventSpatialPrefetcher(Prefetcher):
             ways=ways,
             blocks_per_region=self.blocks_per_region,
         )
-        self.filter_table = FilterTable(sets=filter_sets, ways=filter_ways)
+        self.filter_table = FilterTable(
+            sets=filter_sets, ways=filter_ways, on_drop=self._filter_dropped
+        )
         self.accumulation_table = AccumulationTable(
             on_commit=self._commit_region,
             sets=accumulation_sets,
@@ -64,8 +67,20 @@ class MultiEventSpatialPrefetcher(Prefetcher):
         )
         self.measure_redundancy = measure_redundancy
         self._region_shift = self.blocks_per_region.bit_length() - 1
+        self._commit_cause = "capacity"
 
     def _commit_region(self, region: int, record: RegionRecord) -> None:
+        if self.sink.enabled:
+            self.sink.emit(
+                RegionCommit(
+                    region=region,
+                    pc=record.trigger_pc,
+                    offset=record.trigger_offset,
+                    trigger_block=record.trigger_block,
+                    footprint=record.footprint.bits,
+                    cause=self._commit_cause,
+                )
+            )
         self.tables.insert(
             record.trigger_pc,
             record.trigger_block,
@@ -73,6 +88,10 @@ class MultiEventSpatialPrefetcher(Prefetcher):
             record.footprint,
         )
         self.stats.add("commits")
+
+    def _filter_dropped(self, region: int, record: RegionRecord) -> None:
+        if self.sink.enabled:
+            self.sink.emit(RegionDrop(region=region))
 
     # -- the access path ------------------------------------------------------
     def on_access(self, info: AccessInfo) -> List[PrefetchRequest]:
@@ -148,11 +167,26 @@ class MultiEventSpatialPrefetcher(Prefetcher):
 
     # -- residency tracking --------------------------------------------------------
     def on_eviction(self, block: int, was_used: bool) -> None:
+        """Close the residency only if the evicted block was recorded."""
         region = self.address_map.region_of_block(block)
-        if self.accumulation_table.lookup(region) is not None:
-            self.accumulation_table.evict(region)
-        else:
-            self.filter_table.remove(region)
+        offset = self.address_map.offset_of_block(block)
+        record = self.accumulation_table.peek(region)
+        if record is not None:
+            if record.footprint.test(offset):
+                self._commit_cause = "residency"
+                try:
+                    self.accumulation_table.evict(region)
+                finally:
+                    self._commit_cause = "capacity"
+            else:
+                self.stats.add("residency_early_close")
+            return
+        record = self.filter_table.peek(region)
+        if record is not None:
+            if record.trigger_offset == offset:
+                self.filter_table.remove(region)
+            else:
+                self.stats.add("residency_early_close")
 
     def reset(self) -> None:
         """Drop all learned state: cascaded tables, filter, accumulation."""

@@ -44,15 +44,31 @@ CommitCallback = Callable[[int, RegionRecord], None]
 
 
 class FilterTable:
-    """Regions with exactly one access so far (trigger only)."""
+    """Regions with exactly one access so far (trigger only).
 
-    def __init__(self, sets: int = 8, ways: int = 8) -> None:
+    ``on_drop(region, record)`` fires only on *capacity* replacement —
+    explicit :meth:`remove` (graduation, end of residency) is silent,
+    because a single-access region trains nothing.  The observability
+    layer uses the callback to trace forgotten triggers so the unbounded
+    reference models of :mod:`repro.check` can stay in sync.
+    """
+
+    def __init__(
+        self,
+        sets: int = 8,
+        ways: int = 8,
+        on_drop: Optional[CommitCallback] = None,
+    ) -> None:
         self._table: SetAssociativeTable[RegionRecord] = SetAssociativeTable(
-            sets=sets, ways=ways, policy="lru"
+            sets=sets, ways=ways, policy="lru", on_evict=on_drop
         )
 
     def lookup(self, region: int) -> Optional[RegionRecord]:
         return self._table.lookup(region)
+
+    def peek(self, region: int) -> Optional[RegionRecord]:
+        """Lookup without touching recency (eviction-path inspection)."""
+        return self._table.lookup(region, touch=False)
 
     def insert(self, region: int, record: RegionRecord) -> None:
         self._table.insert(region, record)
@@ -60,6 +76,9 @@ class FilterTable:
     def remove(self, region: int) -> Optional[RegionRecord]:
         """Remove silently (single-access regions train nothing)."""
         return self._table.pop(region)
+
+    def items(self) -> List[Tuple[int, RegionRecord]]:
+        return self._table.items()
 
     def clear(self) -> None:
         self._table.clear()
@@ -97,6 +116,10 @@ class AccumulationTable:
 
     def lookup(self, region: int) -> Optional[RegionRecord]:
         return self._table.lookup(region)
+
+    def peek(self, region: int) -> Optional[RegionRecord]:
+        """Lookup without touching recency (eviction-path inspection)."""
+        return self._table.lookup(region, touch=False)
 
     def insert(self, region: int, record: RegionRecord) -> None:
         self._table.insert(region, record)

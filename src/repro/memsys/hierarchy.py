@@ -239,12 +239,13 @@ class MemoryHierarchy:
         if merged is not None:
             latency = (merged - now) + cfg.l1d.hit_latency
             return AccessResult(latency=latency, llc_hit=True)
-        issue = mshr.reserve(now) + cfg.l1d.hit_latency
+        start = mshr.reserve(now)
+        issue = start + cfg.l1d.hit_latency
 
         # ---- LLC (demand) ----
         result = self._llc_access(core_id, pc, paddr, block, issue, is_write)
         total = (issue - now) + cfg.l1d.hit_latency + result.latency
-        mshr.commit(block, now + total)
+        mshr.commit(block, now + total, start=start)
 
         # Fill the L1 (non-inclusive victim handling: L1 victims vanish).
         l1.fill(block, BlockState(core_id=core_id))
@@ -282,6 +283,11 @@ class MemoryHierarchy:
                 if wait > 0:
                     self._c_late_covered.value += 1
                     result.late = True
+                if self.prefetchers:
+                    # Tell the issuing prefetcher its prefetch was
+                    # consumed: accuracy feedback must not wait for the
+                    # block's eviction (which may never be observed).
+                    self.prefetchers[state.core_id].on_prefetch_used(block)
             else:
                 self._c_demand_hits.value += 1
             result.llc_hit = True

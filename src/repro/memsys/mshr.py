@@ -20,8 +20,14 @@ class MshrFile:
 
     Times are core cycles (floats are accepted; ordering is what matters).
     Entries whose completion time has passed are garbage-collected lazily
-    on each call, so the structure never grows beyond ``entries`` live
-    misses.
+    on each call, so the structure never grows beyond the live misses plus
+    at most the stalled reservations issued against them.
+
+    A stalled reservation (:meth:`reserve` on a full file) never removes
+    the blocking entries: they remain visible to :meth:`lookup`/:meth:`merge`
+    until their real completion times, exactly like hardware, where a
+    stalled miss waits in the queue while the oldest outstanding miss
+    finishes its fill.
     """
 
     def __init__(self, entries: int, stats: Optional[StatGroup] = None) -> None:
@@ -30,6 +36,7 @@ class MshrFile:
         self.entries = entries
         self.stats = stats if stats is not None else StatGroup("mshr")
         self._inflight: Dict[int, float] = {}
+        self._starts: Dict[int, float] = {}
         self._heap: List[tuple] = []  # (completion_time, block)
 
     def _expire(self, now: float) -> None:
@@ -38,11 +45,31 @@ class MshrFile:
             # Stale heap entries (block re-registered later) are skipped.
             if self._inflight.get(block) == time:
                 del self._inflight[block]
+                self._starts.pop(block, None)
 
     def outstanding(self, now: float) -> int:
         """Number of misses still in flight at ``now``."""
         self._expire(now)
         return len(self._inflight)
+
+    def occupancy(self, now: float) -> int:
+        """Entries actually *occupied* at ``now``: started but not finished.
+
+        Differs from :meth:`outstanding` only while a stalled reservation
+        is waiting for its slot: the stalled miss is registered (so later
+        accesses can merge with it) but does not hold an entry until its
+        start time.  The invariant checker asserts this never exceeds
+        ``entries``.
+        """
+        self._expire(now)
+        count = 0
+        for block, finish in self._inflight.items():
+            if finish <= now:
+                continue
+            start = self._starts.get(block)
+            if start is None or start <= now:  # no start: occupied at once
+                count += 1
+        return count
 
     def lookup(self, block: int, now: float) -> Optional[float]:
         """Completion time of an in-flight miss to ``block``, if any."""
@@ -55,24 +82,35 @@ class MshrFile:
     def reserve(self, now: float) -> float:
         """Find the earliest time a new miss can issue.
 
-        If the file is full at ``now``, the miss stalls until the oldest
-        outstanding miss retires (freeing its entry as a side effect); the
-        returned time is when the request actually leaves the cache.
+        If the file is full at ``now``, the miss stalls until enough of
+        the oldest outstanding misses retire to free an entry; the
+        returned time is when the request actually leaves the cache.  The
+        blocking entries are *not* removed — their completions are still
+        in the future, and later accesses must keep merging with them
+        (they expire on their own once ``now`` passes their completion).
         """
         self._expire(now)
-        start = now
-        while len(self._inflight) >= self.entries:
-            time, block_done = self._heap[0]
-            start = max(start, time)
-            heapq.heappop(self._heap)
-            if self._inflight.get(block_done) == time:
-                del self._inflight[block_done]
-            self.stats.add("stalls")
-        return start
+        overflow = len(self._inflight) - self.entries + 1
+        if overflow <= 0:
+            return now
+        # Stalled requests are served FIFO, so the ``overflow``-th
+        # completion among the live misses is when this one gets a slot.
+        start = heapq.nsmallest(overflow, self._inflight.values())[-1]
+        self.stats.add("stalls")
+        return max(now, start)
 
-    def commit(self, block: int, finish: float) -> None:
-        """Register an issued miss that will complete at ``finish``."""
+    def commit(self, block: int, finish: float, start: Optional[float] = None) -> None:
+        """Register an issued miss that will complete at ``finish``.
+
+        ``start`` is when the miss actually claims its entry (the value
+        :meth:`reserve` returned); omitted, the entry is treated as
+        occupied from registration, which is exact for unstalled misses.
+        """
         self._inflight[block] = finish
+        if start is not None:
+            self._starts[block] = start
+        else:
+            self._starts.pop(block, None)
         heapq.heappush(self._heap, (finish, block))
         self.stats.add("allocations")
 
@@ -84,7 +122,7 @@ class MshrFile:
         time is shifted by any stall the reservation incurred.
         """
         start = self.reserve(now)
-        self.commit(block, completion + (start - now))
+        self.commit(block, completion + (start - now), start=start)
         return start
 
     def merge(self, block: int, now: float) -> Optional[float]:

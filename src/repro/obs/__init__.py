@@ -25,8 +25,11 @@ from repro.obs.events import (
     DemandHit,
     DemandMiss,
     Eviction,
+    HistoryEvict,
     PrefetchFill,
     PrefetchIssued,
+    RegionCommit,
+    RegionDrop,
     TraceEvent,
     VoteDecision,
     event_from_dict,
@@ -38,6 +41,7 @@ from repro.obs.sinks import (
     NullSink,
     RecordingSink,
     RingBufferSink,
+    TeeSink,
     TraceSink,
     read_trace,
     replay_llc_counters,
@@ -53,12 +57,16 @@ __all__ = [
     "PrefetchFill",
     "PrefetchIssued",
     "VoteDecision",
+    "RegionCommit",
+    "RegionDrop",
+    "HistoryEvict",
     "event_from_dict",
     "TraceSink",
     "NullSink",
     "NULL_SINK",
     "RingBufferSink",
     "RecordingSink",
+    "TeeSink",
     "JsonlSink",
     "read_trace",
     "replay_llc_counters",

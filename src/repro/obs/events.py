@@ -195,6 +195,74 @@ class VoteDecision(TraceEvent):
         self.predicted = predicted
 
 
+class RegionCommit(TraceEvent):
+    """A tracked region's footprint moved into the history table.
+
+    ``cause`` is ``"residency"`` when a cache eviction of a footprint
+    block closed the residency (Section IV's end-of-residency rule) or
+    ``"capacity"`` when the accumulation table recycled the entry.  The
+    differential harness (:mod:`repro.check`) diffs residency commits
+    against its unbounded reference model and uses capacity commits to
+    keep that model in sync with the finite tables.
+    """
+
+    __slots__ = ("region", "pc", "offset", "trigger_block", "footprint",
+                 "cause")
+    kind = "region_commit"
+
+    def __init__(
+        self,
+        region: int,
+        pc: int,
+        offset: int,
+        trigger_block: int,
+        footprint: int,
+        cause: str,
+    ) -> None:
+        self.region = region
+        self.pc = pc
+        self.offset = offset
+        self.trigger_block = trigger_block
+        self.footprint = footprint  # the bit-mask of the committed Footprint
+        self.cause = cause
+
+    @property
+    def capacity(self) -> bool:
+        return self.cause == "capacity"
+
+
+class RegionDrop(TraceEvent):
+    """The filter table silently dropped a single-access region.
+
+    Emitted only for *capacity* replacement — a region explicitly removed
+    (graduation, end of residency) trains nothing and is not traced.  The
+    reference models need this to know a region's trigger was forgotten.
+    """
+
+    __slots__ = ("region",)
+    kind = "region_drop"
+
+    def __init__(self, region: int) -> None:
+        self.region = region
+
+
+class HistoryEvict(TraceEvent):
+    """The history table displaced an entry on insert (capacity eviction).
+
+    ``key`` is the displaced entry's long-event tag; ``pc``/``offset``
+    are its short-event components.  The unbounded reference history
+    removes the same entry so later votes agree with the finite table.
+    """
+
+    __slots__ = ("key", "pc", "offset")
+    kind = "history_evict"
+
+    def __init__(self, key: int, pc: int, offset: int) -> None:
+        self.key = key
+        self.pc = pc
+        self.offset = offset
+
+
 #: kind -> event class, for deserialisation
 EVENT_KINDS: Dict[str, Type[TraceEvent]] = {
     cls.kind: cls
@@ -205,6 +273,9 @@ EVENT_KINDS: Dict[str, Type[TraceEvent]] = {
         PrefetchFill,
         Eviction,
         VoteDecision,
+        RegionCommit,
+        RegionDrop,
+        HistoryEvict,
     )
 }
 

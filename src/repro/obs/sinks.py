@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.obs.events import TraceEvent, event_from_dict
 
@@ -104,6 +104,33 @@ class RecordingSink(TraceSink):
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class TeeSink(TraceSink):
+    """Fans one event stream out to several child sinks.
+
+    A child that disables itself (a full :class:`RecordingSink`) is
+    skipped; the tee reports ``enabled`` as long as *any* child still
+    listens, so emit sites keep their single-attribute-check guard.
+    """
+
+    def __init__(self, sinks: Sequence[TraceSink]) -> None:
+        self.sinks: List[TraceSink] = list(sinks)
+        if not self.sinks:
+            raise ValueError("TeeSink needs at least one child sink")
+
+    @property  # type: ignore[override]
+    def enabled(self) -> bool:
+        return any(sink.enabled for sink in self.sinks)
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            if sink.enabled:
+                sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
 
 
 class JsonlSink(TraceSink):

@@ -11,6 +11,8 @@ The contract mirrors what a ChampSim LLC prefetcher sees:
   block as end-of-residency and commit the footprint to history.
 * :meth:`Prefetcher.on_prefetch_fill` — a previously issued prefetch
   completed its fill (BOP trains on these for timeliness).
+* :meth:`Prefetcher.on_prefetch_used` — a demand access consumed one of
+  this prefetcher's prefetched blocks (accuracy feedback).
 
 ``storage_bits`` reports metadata size for the performance-density study
 (Fig. 9).
@@ -104,6 +106,15 @@ class Prefetcher:
 
     def on_prefetch_fill(self, block: int, time: float) -> None:
         """A prefetch issued earlier finished filling the LLC."""
+
+    def on_prefetch_used(self, block: int) -> None:
+        """A demand access consumed one of this prefetcher's prefetches.
+
+        Fired by the hierarchy on the *covered* demand hit itself, so
+        accuracy-feedback schemes can judge a prefetch as soon as it pays
+        off instead of waiting for the block's eviction (which a large
+        LLC — or L1-training mode — may never deliver).
+        """
 
     # -- reporting -------------------------------------------------------------
     @property

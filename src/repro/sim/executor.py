@@ -177,6 +177,43 @@ def execute_job(job: SimJob) -> SimResult:
     return engine.run()
 
 
+def execute_job_checked(job: SimJob) -> SimResult:
+    """Run one job with a strict invariant checker riding the event stream.
+
+    Module-level for the same pickling reasons as :func:`execute_job`.
+    The run's trace sink becomes a tee of the caller-requested sink (if
+    any) and a :class:`~repro.check.invariants.InvariantChecker` in
+    strict mode, so any conservation-law violation aborts the batch with
+    an :class:`~repro.check.invariants.InvariantViolation` instead of
+    silently producing wrong numbers.
+    """
+    from repro.check.invariants import InvariantChecker
+    from repro.obs.sinks import TeeSink, build_sink
+    from repro.workloads.registry import make_workload
+
+    checker = InvariantChecker(strict=True)
+    obs_sink = build_sink(job.obs)
+    sink = checker if obs_sink is None else TeeSink([checker, obs_sink])
+    engine = SimulationEngine(
+        workload=make_workload(job.workload, seed=job.seed, scale=job.scale),
+        prefetcher=job.prefetcher,
+        system=job.system,
+        params=job.params,
+        prefetcher_kwargs=dict(job.prefetcher_kwargs) or None,
+        train_at=job.train_at,
+        obs=job.obs,
+        sink=sink,
+    )
+    checker.attach(engine.hierarchy)
+    try:
+        result = engine.run()
+    finally:
+        if obs_sink is not None:
+            obs_sink.close()
+    checker.finalize()
+    return result
+
+
 # ---------------------------------------------------------------------------
 # On-disk result cache
 # ---------------------------------------------------------------------------
@@ -275,6 +312,12 @@ class Executor:
     ``stats`` counters: ``jobs``, ``cache_hits``, ``cache_misses``,
     ``cache_skipped`` (uncacheable side-effecting jobs), ``executed``,
     ``run_seconds`` (wall-clock of the execution phase).
+
+    ``check=True`` runs every job through :func:`execute_job_checked`
+    (strict runtime invariant checking) and bypasses the result cache in
+    both directions — a cached result would skip the very checks the
+    caller asked for, and a checked run proves nothing about future
+    uncached replays.
     """
 
     def __init__(
@@ -282,11 +325,13 @@ class Executor:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         stats: Optional[StatGroup] = None,
+        check: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache = cache
+        self.check = check
         self.stats = stats if stats is not None else StatGroup("executor")
 
     def run_job(self, job: SimJob) -> SimResult:
@@ -308,9 +353,11 @@ class Executor:
                 pending[digest].append(index)
                 continue
             if self.cache is not None:
-                if not job.cacheable:
+                if self.check or not job.cacheable:
                     # Side-effecting jobs (event tracing) must run for
                     # real: a cached result cannot rewrite the trace.
+                    # Checked jobs likewise: the invariant checker only
+                    # sees events from an actual execution.
                     self.stats.add("cache_skipped")
                 else:
                     hit = self.cache.load(job)
@@ -328,16 +375,17 @@ class Executor:
             self.stats.add("run_seconds", time.perf_counter() - start)
             self.stats.add("executed", len(pending_jobs))
             for job, result in zip(pending_jobs, executed):
-                if self.cache is not None and job.cacheable:
+                if self.cache is not None and job.cacheable and not self.check:
                     self.cache.store(job, result)
                 for index in pending[job.digest()]:
                     results[index] = result
         return results  # type: ignore[return-value]
 
     def _execute(self, jobs: List[SimJob]) -> List[SimResult]:
+        runner = execute_job_checked if self.check else execute_job
         context = _pool_context() if self.workers > 1 else None
         if context is None or len(jobs) == 1:
-            return [execute_job(job) for job in jobs]
+            return [runner(job) for job in jobs]
         workers = min(self.workers, len(jobs))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            return list(pool.map(execute_job, jobs))
+            return list(pool.map(runner, jobs))

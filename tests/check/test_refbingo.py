@@ -1,0 +1,126 @@
+"""The unbounded dict-based reference Bingo."""
+
+from repro.check import ReferenceBingo
+from repro.common.bitvec import Footprint
+
+
+def footprint(*offsets):
+    bits = Footprint(32)
+    for offset in offsets:
+        bits.set(offset)
+    return bits
+
+
+class TestAccessPath:
+    def test_trigger_allocates_filter_and_decides(self):
+        ref = ReferenceBingo()
+        decision = ref.on_access(pc=0x400, block=0)
+        assert decision is not None and decision.matched == "none"
+        assert decision.candidates(0, 0) == []
+        assert 0 in ref.filter
+
+    def test_retouching_trigger_stays_in_filter(self):
+        ref = ReferenceBingo()
+        ref.on_access(0x400, 0)
+        assert ref.on_access(0x400, 0) is None
+        assert 0 in ref.filter and not ref.accumulation
+
+    def test_second_distinct_block_graduates(self):
+        ref = ReferenceBingo()
+        ref.on_access(0x400, 0)
+        assert ref.on_access(0x400, 3) is None
+        assert 0 in ref.accumulation and 0 not in ref.filter
+        assert ref.accumulation[0].footprint.offsets() == [0, 3]
+
+
+class TestPrediction:
+    def _train(self, ref):
+        ref.on_access(0x400, 0)
+        ref.on_access(0x400, 3)
+        region, record = ref.on_llc_eviction(3)
+        assert region == 0
+        ref.insert_history(
+            record.trigger_pc,
+            record.trigger_block,
+            record.trigger_offset,
+            record.footprint,
+        )
+
+    def test_long_match_on_exact_revisit(self):
+        ref = ReferenceBingo()
+        self._train(ref)
+        decision = ref.on_access(0x400, 0)
+        assert decision.matched == "pc_address" and decision.num_matches == 1
+        assert decision.candidates(0, 0) == [3]
+
+    def test_short_match_generalises_to_new_region(self):
+        ref = ReferenceBingo()
+        self._train(ref)
+        decision = ref.on_access(0x400, 32)  # same pc, same offset
+        assert decision.matched == "pc_offset"
+        assert decision.candidates(1, 0) == [32 + 3]
+
+    def test_different_pc_matches_nothing(self):
+        ref = ReferenceBingo()
+        self._train(ref)
+        assert ref.on_access(0x999, 32).matched == "none"
+
+    def test_multi_match_votes(self):
+        ref = ReferenceBingo()
+        ref.insert_history(0x400, 0, 0, footprint(0, 3))
+        ref.insert_history(0x400, 32, 0, footprint(0, 7))
+        decision = ref.on_access(0x400, 64)
+        assert decision.matched == "pc_offset" and decision.num_matches == 2
+        # 20 % of two votes needs one vote: the footprints union
+        assert decision.candidates(2, 0) == [64 + 3, 64 + 7]
+
+
+class TestResidencyClosure:
+    def test_footprint_eviction_closes_and_returns_record(self):
+        ref = ReferenceBingo()
+        ref.on_access(0x400, 0)
+        ref.on_access(0x400, 3)
+        region, record = ref.on_llc_eviction(0)
+        assert region == 0
+        assert record.footprint.offsets() == [0, 3]
+        assert 0 not in ref.accumulation
+
+    def test_non_footprint_eviction_keeps_residency_open(self):
+        ref = ReferenceBingo()
+        ref.on_access(0x400, 0)
+        ref.on_access(0x400, 3)
+        assert ref.on_llc_eviction(5) is None
+        assert 0 in ref.accumulation
+
+    def test_filter_region_closes_silently_on_trigger_eviction(self):
+        ref = ReferenceBingo()
+        ref.on_access(0x400, 0)
+        assert ref.on_llc_eviction(0) is None  # trains nothing
+        assert not ref.filter
+        ref.on_access(0x400, 32)
+        assert ref.on_llc_eviction(33) is None  # not the trigger block
+        assert 1 in ref.filter
+
+
+class TestCapacitySync:
+    def test_sync_filter_drop(self):
+        ref = ReferenceBingo()
+        ref.on_access(0x400, 0)
+        assert ref.sync_filter_drop(0)
+        assert not ref.sync_filter_drop(0)
+
+    def test_sync_capacity_commit(self):
+        ref = ReferenceBingo()
+        ref.on_access(0x400, 64)
+        ref.on_access(0x400, 67)
+        record = ref.sync_capacity_commit(2)
+        assert record is not None and record.footprint.offsets() == [0, 3]
+        assert ref.sync_capacity_commit(2) is None
+
+    def test_sync_history_evict_clears_short_index(self):
+        ref = ReferenceBingo()
+        ref.insert_history(0x400, 0, 0, footprint(0, 3))
+        key = next(iter(ref.history))
+        assert ref.sync_history_evict(key, 0x400, 0)
+        assert not ref.sync_history_evict(key, 0x400, 0)
+        assert ref.on_access(0x400, 32).matched == "none"

@@ -1,0 +1,71 @@
+"""The untimed set-semantics reference cache models."""
+
+import pytest
+
+from repro.check import ReferenceL1, ReferenceLlc
+
+
+class TestReferenceL1:
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            ReferenceL1(sets=3, ways=2)
+        with pytest.raises(ValueError):
+            ReferenceL1(sets=0, ways=2)
+
+    def test_miss_then_hit(self):
+        l1 = ReferenceL1(sets=2, ways=2)
+        assert not l1.lookup(4)
+        l1.fill(4)
+        assert l1.lookup(4)
+
+    def test_lru_eviction_order(self):
+        l1 = ReferenceL1(sets=1, ways=2)
+        assert l1.fill(0) is None
+        assert l1.fill(8) is None
+        assert l1.fill(16) == 0  # the oldest block is the victim
+        assert not l1.lookup(0)
+        assert l1.lookup(8) and l1.lookup(16)
+
+    def test_hit_refreshes_recency(self):
+        l1 = ReferenceL1(sets=1, ways=2)
+        l1.fill(0)
+        l1.fill(8)
+        assert l1.lookup(0)  # 0 becomes most recent
+        assert l1.fill(16) == 8
+
+    def test_refill_of_resident_block_refreshes(self):
+        l1 = ReferenceL1(sets=1, ways=2)
+        l1.fill(0)
+        l1.fill(8)
+        assert l1.fill(0) is None  # no victim: just a refresh
+        assert len(l1) == 2
+        assert l1.fill(16) == 8
+
+    def test_sets_are_independent(self):
+        l1 = ReferenceL1(sets=2, ways=1)
+        l1.fill(0)
+        assert l1.fill(1) is None  # lands in the other set
+        assert len(l1) == 2
+
+
+class TestReferenceLlc:
+    def test_demand_fill_flags(self):
+        llc = ReferenceLlc()
+        llc.fill_demand(5)
+        assert llc.resident(5)
+        block = llc.lookup(5)
+        assert not block.prefetched and block.used
+
+    def test_prefetch_fill_flags(self):
+        llc = ReferenceLlc()
+        llc.fill_prefetch(5)
+        block = llc.lookup(5)
+        assert block.prefetched and not block.used
+
+    def test_evict_removes(self):
+        llc = ReferenceLlc()
+        llc.fill_demand(5)
+        assert llc.evict(5) is not None
+        assert not llc.resident(5)
+        assert llc.evict(5) is None
+        assert len(llc) == 0

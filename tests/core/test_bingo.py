@@ -118,6 +118,33 @@ class TestResidency:
         pf.on_eviction(12345, was_used=False)
         assert pf.stats.get("commits") == 0
 
+    def test_non_footprint_eviction_keeps_residency_open(self):
+        """Regression: an eviction of a region block the region never
+        recorded used to close the residency and commit a truncated
+        footprint."""
+        pf = BingoPrefetcher()
+        access(pf, 0)
+        access(pf, 3)
+        pf.on_eviction(5, was_used=False)  # offset 5 was never accessed
+        assert pf.stats.get("commits") == 0
+        assert pf.stats.get("residency_early_close") == 1
+        assert len(pf.accumulation_table) == 1
+        access(pf, 7)  # the region keeps accumulating
+        pf.on_eviction(3, was_used=True)  # a footprint block: now it closes
+        assert pf.stats.get("commits") == 1
+        assert len(pf.accumulation_table) == 0
+        # the committed footprint carries all three accesses
+        assert access(pf, 32) == [32 + 3, 32 + 7]
+
+    def test_filter_entry_survives_foreign_eviction(self):
+        pf = BingoPrefetcher()
+        access(pf, 0)  # trigger only: stays in the filter
+        pf.on_eviction(5, was_used=False)  # some other block of the region
+        assert len(pf.filter_table) == 1
+        assert pf.stats.get("residency_early_close") == 1
+        pf.on_eviction(0, was_used=False)  # the trigger block itself leaves
+        assert len(pf.filter_table) == 0
+
 
 class TestConfiguration:
     def test_storage_roughly_paper_sized(self):

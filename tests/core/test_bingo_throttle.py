@@ -64,6 +64,49 @@ def test_reset_restores_feedback_state():
     assert pf._judged_total == 0
 
 
+def test_demand_hit_judges_immediately():
+    """Regression: a demanded prefetch used to wait for its *eviction* to
+    be judged, so blocks that stayed resident leaked tracking entries."""
+    pf = BingoPrefetcher(throttle=True)
+    pf.on_prefetch_fill(1, time=0.0)
+    pf.on_prefetch_fill(2, time=0.0)
+    pf.on_prefetch_used(1)
+    assert pf._judged_total == 1 and pf._judged_used == 1
+    assert 1 not in pf._inflight_prefetches
+    pf.on_prefetch_used(1)  # double-judging the same block is a no-op
+    assert pf._judged_total == 1
+
+
+def test_on_prefetch_used_noop_when_disabled():
+    pf = BingoPrefetcher()
+    pf.on_prefetch_used(1)
+    assert pf._judged_total == 0
+
+
+def test_inflight_set_is_bounded():
+    """Regression: ``_inflight_prefetches`` grew without bound when
+    prefetched blocks were never demanded nor evicted."""
+    pf = BingoPrefetcher(throttle=True)
+    pf._INFLIGHT_CAP = 4  # instance override for the test
+    for block in range(10):
+        pf.on_prefetch_fill(block, time=0.0)
+    assert len(pf._inflight_prefetches) == 4
+    assert pf.stats.get("inflight_overflow") == 6
+    # overflow retires the oldest (as unused); the newest four remain
+    assert list(pf._inflight_prefetches) == [6, 7, 8, 9]
+    assert pf._judged_total == 6 and pf._judged_used == 0
+
+
+def test_refill_refreshes_order_without_overflow():
+    pf = BingoPrefetcher(throttle=True)
+    pf._INFLIGHT_CAP = 2
+    pf.on_prefetch_fill(1, time=0.0)
+    pf.on_prefetch_fill(2, time=0.0)
+    pf.on_prefetch_fill(1, time=1.0)  # re-filled: refreshed, not overflow
+    assert pf.stats.get("inflight_overflow") == 0
+    assert list(pf._inflight_prefetches) == [2, 1]
+
+
 def test_throttled_bingo_still_prefetches():
     pf = BingoPrefetcher(throttle=True)
     for block in (0, 3, 7):

@@ -133,3 +133,27 @@ def test_unified_table_agrees_with_dual_cascade(
     if bingo_match is not None and bingo_match.num_matches == 1:
         assert bingo_match.footprint == cascade_match.footprint
         assert bingo_match.matched == cascade_match.matched
+
+
+class TestResidencyRule:
+    def test_non_footprint_eviction_keeps_residency_open(self):
+        """Same regression as Bingo's: only an eviction of a *recorded*
+        block ends the residency."""
+        pf = MultiEventSpatialPrefetcher()
+        access(pf, 0)
+        access(pf, 3)
+        pf.on_eviction(5, was_used=False)  # offset 5 was never accessed
+        assert pf.stats.get("commits") == 0
+        assert pf.stats.get("residency_early_close") == 1
+        assert len(pf.accumulation_table) == 1
+        pf.on_eviction(3, was_used=True)
+        assert pf.stats.get("commits") == 1
+        assert len(pf.accumulation_table) == 0
+
+    def test_filter_entry_survives_foreign_eviction(self):
+        pf = MultiEventSpatialPrefetcher()
+        access(pf, 0)
+        pf.on_eviction(5, was_used=False)
+        assert len(pf.filter_table) == 1
+        pf.on_eviction(0, was_used=False)
+        assert len(pf.filter_table) == 0

@@ -73,3 +73,47 @@ class TestAccumulationTable:
         table.insert(1, make_record())
         table.insert(2, make_record())
         assert {region for region, _rec in table.items()} == {1, 2}
+
+
+class TestCommitExactlyOnce:
+    def test_capacity_and_explicit_evictions_never_double_commit(self):
+        commits = []
+        table = AccumulationTable(
+            on_commit=lambda region, record: commits.append(region),
+            sets=1,
+            ways=2,
+        )
+        for region in (1, 2, 3):
+            footprint = Footprint(32)
+            footprint.set(region)
+            table.insert(
+                region,
+                RegionRecord(
+                    trigger_pc=0x400,
+                    trigger_offset=region,
+                    trigger_block=region,
+                    footprint=footprint,
+                ),
+            )
+        # inserting 3 into the full single set displaced exactly the LRU
+        assert commits == [1]
+        table.evict(2)
+        table.evict(3)
+        assert commits == [1, 2, 3]
+        # regions already committed are gone: re-evicting is a no-op
+        table.evict(1)
+        table.evict(2)
+        assert commits == [1, 2, 3]
+
+    def test_peek_does_not_perturb_replacement(self):
+        commits = []
+        table = AccumulationTable(
+            on_commit=lambda region, record: commits.append(region),
+            sets=1,
+            ways=2,
+        )
+        table.insert(1, make_record(1))
+        table.insert(2, make_record(2))
+        table.peek(1)  # eviction-path inspection must not refresh LRU
+        table.insert(3, make_record(3))
+        assert commits == [1]

@@ -138,3 +138,30 @@ def test_experiment_table1(capsys):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         cli.main(["experiment", "fig99"])
+
+
+def test_check_command(capsys):
+    code = cli.main(
+        ["check", "-w", "streaming", "-p", "bingo", "-p", "bop",
+         "--instructions", "3000", "--warmup", "500"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "streaming/bingo: OK" in out
+    assert "streaming/bop: OK" in out
+    assert "OK: 2 checks" in out
+
+
+def test_sweep_check_flag_bypasses_cache(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    argv = [
+        "sweep", "-w", "streaming", "-p", "nextline",
+        "--parameter", "degree", "--values", "1", "2",
+        "--instructions", "3000", "--warmup", "500", "--check",
+    ]
+    assert cli.main(argv) == 0
+    assert "2 executed" in capsys.readouterr().out
+    # the second checked run must execute again, not answer from cache
+    assert cli.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "0 cache hits" in out and "2 executed" in out

@@ -68,3 +68,53 @@ class TestReRegistration:
         mshr.commit(1, finish=50.0)
         mshr.commit(1, finish=200.0)  # re-registered
         assert mshr.merge(1, now=100.0) == 200.0
+
+
+class TestReserveKeepsEntries:
+    """Regression: ``reserve`` on a full file used to *pop* the blocking
+    entries, so a stalled miss destroyed the merge window of every miss
+    still in flight and re-registered blocks could charge several stalls
+    for one reservation."""
+
+    def test_inflight_misses_still_merge_after_full_reserve(self):
+        mshr = MshrFile(entries=2)
+        mshr.commit(1, finish=100.0)
+        mshr.commit(2, finish=200.0)
+        assert mshr.reserve(now=10.0) == 100.0
+        # the blocking misses are still in flight and must keep merging
+        assert mshr.merge(1, now=50.0) == 100.0
+        assert mshr.merge(2, now=50.0) == 200.0
+
+    def test_one_stall_per_reservation_despite_stale_heap_entries(self):
+        mshr = MshrFile(entries=1)
+        mshr.commit(1, finish=50.0)
+        mshr.commit(1, finish=200.0)  # stale (50.0, 1) left in the heap
+        assert mshr.reserve(now=10.0) == 200.0
+        assert mshr.stats.get("stalls") == 1
+
+    def test_repeated_reserves_see_the_same_entries(self):
+        mshr = MshrFile(entries=2)
+        mshr.commit(1, finish=100.0)
+        mshr.commit(2, finish=200.0)
+        assert mshr.reserve(now=10.0) == 100.0
+        # nothing was consumed: a second reservation waits on the same miss
+        assert mshr.reserve(now=20.0) == 100.0
+        assert mshr.stats.get("stalls") == 2
+
+    def test_occupancy_never_exceeds_entries_during_stall(self):
+        mshr = MshrFile(entries=2)
+        mshr.commit(1, finish=100.0)
+        mshr.commit(2, finish=200.0)
+        start = mshr.reserve(now=10.0)
+        mshr.commit(3, finish=300.0, start=start)
+        # three registered misses, but only two physically hold entries
+        assert mshr.outstanding(now=50.0) == 3
+        assert mshr.occupancy(now=50.0) == 2
+        # block 1 retires at 100 and the stalled miss takes its entry
+        assert mshr.occupancy(now=150.0) == 2
+
+    def test_occupancy_defaults_to_occupied_from_registration(self):
+        mshr = MshrFile(entries=4)
+        mshr.commit(1, finish=100.0)  # no start: unstalled miss
+        assert mshr.occupancy(now=0.0) == 1
+        assert mshr.occupancy(now=150.0) == 0

@@ -9,8 +9,11 @@ from repro.obs.events import (
     DemandHit,
     DemandMiss,
     Eviction,
+    HistoryEvict,
     PrefetchFill,
     PrefetchIssued,
+    RegionCommit,
+    RegionDrop,
     VoteDecision,
     event_from_dict,
 )
@@ -24,6 +27,10 @@ SAMPLES = [
     Eviction(cache="llc", block=67, prefetched=True, used=False),
     VoteDecision(pc=0x400, block=68, region=2, offset=4, matched="pc_offset",
                  num_matches=3, threshold=0.2, predicted=7),
+    RegionCommit(region=2, pc=0x400, offset=4, trigger_block=68,
+                 footprint=0b10110, cause="residency"),
+    RegionDrop(region=9),
+    HistoryEvict(key=0x5EED, pc=0x400, offset=4),
 ]
 
 
@@ -45,7 +52,8 @@ def test_dict_form_is_json_encodable(event):
 def test_every_kind_is_registered():
     assert set(EVENT_KINDS) == {
         "demand_hit", "demand_miss", "prefetch_issued", "prefetch_fill",
-        "eviction", "vote_decision",
+        "eviction", "vote_decision", "region_commit", "region_drop",
+        "history_evict",
     }
 
 

@@ -222,3 +222,35 @@ class TestParallelEntryPoints:
         assert {k: v.to_dict() for k, v in serial.items()} == {
             k: v.to_dict() for k, v in parallel.items()
         }
+
+
+class TestCheckedExecution:
+    def test_check_mode_bypasses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = quick_job()
+        executor = Executor(workers=1, cache=cache, check=True)
+        result = executor.run_jobs([job])[0]
+        assert executor.stats.get("cache_skipped") == 1
+        assert executor.stats.get("cache_hits") == 0
+        assert executor.stats.get("executed") == 1
+        # neither read from nor written to: a checked run proves nothing
+        # about uncached replays
+        assert not cache.path_for(job).exists()
+        # checking rides the event stream; the result itself is untouched
+        assert result.to_dict() == execute_job(job).to_dict()
+
+    def test_prior_cache_entry_is_not_served_in_check_mode(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = quick_job()
+        Executor(workers=1, cache=cache).run_jobs([job])  # populate
+        executor = Executor(workers=1, cache=cache, check=True)
+        executor.run_jobs([job])
+        assert executor.stats.get("cache_hits") == 0
+        assert executor.stats.get("executed") == 1
+
+    def test_checked_run_with_bingo_passes_invariants(self):
+        from repro.sim.executor import execute_job_checked
+
+        job = quick_job(prefetcher="bingo", prefetcher_kwargs=None)
+        result = execute_job_checked(job)  # strict: raises on violation
+        assert result.demand_accesses > 0
