@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick experiments clean
+.PHONY: install test bench bench-quick bench-report experiments clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -13,8 +13,13 @@ test:
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 
+# pytest-sized benches; the engine bench also refreshes BENCH_engine.json
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# the full engine-speed matrix -> BENCH_engine.json (docs/performance.md)
+bench-report:
+	$(PYTHON) benchmarks/bench_engine_speed.py --workers 4
 
 bench-quick:
 	REPRO_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

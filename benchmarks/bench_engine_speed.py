@@ -1,15 +1,22 @@
 """Engine/executor speed benchmark: points/sec, ns/access, speedups.
 
 Not a paper figure: tracks the simulator's own performance as a number
-rather than a claim.  Three measurements over a Fig. 8-style
+rather than a claim.  Measurements over a Fig. 8-style
 (workload × prefetcher) matrix:
 
-* **serial** — every point through the in-process path (the baseline);
-* **parallel** — the same matrix through ``Executor(workers=N)``;
-* **cached** — the same matrix again, now answered by the on-disk cache.
+* **serial** — every point through the in-process generator path;
+* **compiled** — the same serial matrix replayed from packed compiled
+  traces (cold trace cache: the first point of each workload pays the
+  compile, the rest ``mmap`` the arena);
+* **parallel** — the compiled matrix through ``Executor(workers=N)``;
+* **cached** — the same matrix again, answered by the on-disk result
+  cache;
 
 plus the serial inner-loop rate (simulated instructions/sec and ns per
-memory access).  Run as a script for the full report::
+memory access, generator vs compiled fast path).  Every full run also
+writes the report — with git SHA and timestamp — to
+``BENCH_engine.json`` at the repo root, so the perf trajectory is
+recorded run over run.  Run as a script for the full report::
 
     PYTHONPATH=src python benchmarks/bench_engine_speed.py --workers 4
 
@@ -23,9 +30,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
+import subprocess
 import sys
 import tempfile
 import time
+from datetime import datetime, timezone
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.experiments.common import (
@@ -37,12 +48,16 @@ from repro.experiments.common import (
 from repro.sim.executor import Executor, ResultCache, SimJob, execute_job
 from repro.workloads.registry import WORKLOAD_NAMES
 
+#: where the perf trajectory is recorded (committed alongside the code)
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
 
 def matrix_jobs(
     workloads: Optional[List[str]] = None,
     prefetchers: Optional[List[str]] = None,
     instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    compile: bool = True,
 ) -> List[SimJob]:
     """A Fig. 8-style job matrix: baseline + prefetchers × workloads."""
     params = default_params()
@@ -58,6 +73,7 @@ def matrix_jobs(
             instructions_per_core=instructions,
             warmup_instructions=warmup,
             scale=EXPERIMENT_SCALE,
+            compile=compile,
         )
         for workload in workloads
         for prefetcher in prefetchers
@@ -73,8 +89,20 @@ def _timed(executor: Executor, jobs: List[SimJob]) -> float:
 def measure_matrix(
     jobs: List[SimJob], workers: int, cache_dir: str
 ) -> Dict[str, float]:
-    """Serial vs parallel vs cache-hit wall-clock over one job matrix."""
-    serial_s = _timed(Executor(workers=1), jobs)
+    """Generator vs compiled vs parallel vs cache-hit wall-clock.
+
+    ``jobs`` must be compiled-path jobs; the generator-path baseline is
+    derived from them with ``compile=False``.  The trace cache under
+    ``$REPRO_CACHE_DIR`` starts cold for the compiled pass, so the
+    reported compiled time includes one trace compile per workload —
+    the real cost profile of a fresh sweep.
+    """
+    from dataclasses import replace
+
+    generator_jobs = [replace(job, compile=False) for job in jobs]
+    serial_s = _timed(Executor(workers=1), generator_jobs)
+    compiled_executor = Executor(workers=1)
+    compiled_s = _timed(compiled_executor, jobs)
     cache = ResultCache(cache_dir)
     parallel_s = _timed(Executor(workers=workers, cache=cache), jobs)
     cached_executor = Executor(workers=workers, cache=cache)
@@ -84,31 +112,60 @@ def measure_matrix(
         "points": len(jobs),
         "workers": workers,
         "serial_s": round(serial_s, 3),
+        "compiled_s": round(compiled_s, 3),
         "parallel_s": round(parallel_s, 3),
         "cached_s": round(cached_s, 3),
         "serial_points_per_s": round(len(jobs) / serial_s, 3),
+        "compiled_points_per_s": round(len(jobs) / compiled_s, 3),
         "parallel_points_per_s": round(len(jobs) / parallel_s, 3),
         "cached_points_per_s": round(len(jobs) / cached_s, 3),
+        "compiled_speedup": round(serial_s / compiled_s, 2),
         "parallel_speedup": round(serial_s / parallel_s, 2),
         "cached_speedup": round(serial_s / cached_s, 2),
+        "trace_compile_hits": int(
+            compiled_executor.stats.get("trace_compile_hits")
+        ),
+        "trace_compile_misses": int(
+            compiled_executor.stats.get("trace_compile_misses")
+        ),
     }
 
 
 def measure_inner_loop(
     instructions: int = 60_000, warmup: int = 20_000
 ) -> Dict[str, float]:
-    """Serial inner-loop rate: instructions/sec and ns per memory access."""
-    job = SimJob.build(
-        "streaming",
-        prefetcher="bingo",
-        system=experiment_system(),
-        instructions_per_core=instructions,
-        warmup_instructions=warmup,
-        scale=EXPERIMENT_SCALE,
-    )
+    """Serial inner-loop rate, generator path vs compiled fast path.
+
+    The compiled job runs twice: the cold pass pays the one-time trace
+    compile (reported as ``trace_compile_s``), the warm pass — the
+    steady state of every sweep after its first point — is what the
+    ``compiled_*`` rates and ``fastpath_speedup`` describe.
+    """
+
+    def job(compile_: bool) -> SimJob:
+        return SimJob.build(
+            "streaming",
+            prefetcher="bingo",
+            system=experiment_system(),
+            instructions_per_core=instructions,
+            warmup_instructions=warmup,
+            scale=EXPERIMENT_SCALE,
+            compile=compile_,
+        )
+
     start = time.perf_counter()
-    result = execute_job(job)
-    elapsed = time.perf_counter() - start
+    result = execute_job(job(False))
+    generator_s = time.perf_counter() - start
+    start = time.perf_counter()
+    execute_job(job(True))
+    compiled_cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    compiled_result = execute_job(job(True))
+    compiled_s = time.perf_counter() - start
+    assert compiled_result.to_dict() == result.to_dict(), (
+        "compiled path diverged from the generator path"
+    )
+
     raw = result.raw_stats["memsys"]
     accesses = sum(
         group["accesses"]
@@ -117,11 +174,44 @@ def measure_inner_loop(
     )
     total_instructions = instructions * len(result.cores)
     return {
-        "inner_elapsed_s": round(elapsed, 3),
-        "instructions_per_s": round(total_instructions / elapsed),
-        "ns_per_instruction": round(elapsed / total_instructions * 1e9, 1),
-        "ns_per_access": round(elapsed / accesses * 1e9, 1),
+        "inner_elapsed_s": round(generator_s, 3),
+        "instructions_per_s": round(total_instructions / generator_s),
+        "ns_per_instruction": round(generator_s / total_instructions * 1e9, 1),
+        "ns_per_access": round(generator_s / accesses * 1e9, 1),
+        "compiled_elapsed_s": round(compiled_s, 3),
+        "compiled_instructions_per_s": round(total_instructions / compiled_s),
+        "compiled_ns_per_instruction": round(
+            compiled_s / total_instructions * 1e9, 1
+        ),
+        "compiled_ns_per_access": round(compiled_s / accesses * 1e9, 1),
+        "trace_compile_s": round(compiled_cold_s - compiled_s, 3),
+        "fastpath_speedup": round(generator_s / compiled_s, 2),
     }
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(REPORT_PATH.parent),
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def write_report(report: Dict[str, object], path: Path = REPORT_PATH) -> Path:
+    """Persist the bench report (plus provenance) as pretty JSON."""
+    entry = {
+        "git_sha": _git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        **report,
+    }
+    path.write_text(json.dumps(entry, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 def run_bench(
@@ -129,21 +219,34 @@ def run_bench(
     workloads: Optional[List[str]] = None,
     instructions: Optional[int] = None,
     warmup: Optional[int] = None,
-) -> Dict[str, float]:
+) -> Dict[str, object]:
     jobs = matrix_jobs(
         workloads=workloads, instructions=instructions, warmup=warmup
     )
-    report: Dict[str, float] = {"cpu_count": os.cpu_count() or 1}
+    report: Dict[str, object] = {"cpu_count": os.cpu_count() or 1}
+    previous_cache = os.environ.get("REPRO_CACHE_DIR")
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
-        report.update(measure_matrix(jobs, workers, tmp))
-    report.update(measure_inner_loop())
+        # both caches (results *and* compiled traces) start cold and
+        # stay out of the user's real ~/.cache/repro
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            report.update(
+                measure_matrix(jobs, workers, os.path.join(tmp, "results"))
+            )
+            report.update(measure_inner_loop())
+        finally:
+            if previous_cache is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous_cache
     return report
 
 
 # -- pytest entry point (small matrix, one round) ---------------------------
 
 
-def test_engine_speed(benchmark):
+def test_engine_speed(benchmark, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     jobs = matrix_jobs(
         workloads=["streaming", "em3d"],
         prefetchers=["none", "bingo"],
@@ -158,7 +261,34 @@ def test_engine_speed(benchmark):
         )
     benchmark.extra_info["report"] = report
     print("\n" + json.dumps(report, indent=2))
+    # correctness gates only — CI must not fail on a slow runner
     assert report["cached_speedup"] >= 1.0
+    assert report["trace_compile_misses"] <= len({job.workload for job in jobs})
+    path = write_report({"cpu_count": os.cpu_count() or 1, **report})
+    print(f"report written to {path}")
+
+
+def test_compiled_path_matches_generator(tmp_path, monkeypatch):
+    """The CI correctness gate: compiled and generator paths agree.
+
+    Field-for-field ``SimResult`` equality over a small matrix; any
+    divergence fails the smoke-perf job even though speed never does.
+    """
+    from dataclasses import replace
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    jobs = matrix_jobs(
+        workloads=["streaming", "em3d"],
+        prefetchers=["none", "bingo", "sms", "bop", "spp"],
+        instructions=4000,
+        warmup=1000,
+    )
+    for job in jobs:
+        compiled = execute_job(job)
+        generator = execute_job(replace(job, compile=False))
+        assert compiled.to_dict() == generator.to_dict(), (
+            f"compiled path diverged on {job.workload}/{job.prefetcher}"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -168,6 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="subset of workloads (default: all of Table II)")
     parser.add_argument("--instructions", type=int, default=None)
     parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--no-report", action="store_true",
+                        help="skip writing BENCH_engine.json")
     args = parser.parse_args(argv)
     report = run_bench(
         workers=args.workers,
@@ -176,6 +308,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         warmup=args.warmup,
     )
     print(json.dumps(report, indent=2))
+    if not args.no_report:
+        path = write_report(report)
+        print(f"report written to {path}", file=sys.stderr)
     return 0
 
 

@@ -504,6 +504,7 @@ def run_check(
     seed: int = 11,
     scale: float = 0.02,
     system=None,
+    compile: bool = False,
 ) -> CheckReport:
     """Run one small configuration with the full harness attached.
 
@@ -512,6 +513,11 @@ def run_check(
     access also diffs the L1 hit/miss classification against
     :class:`~repro.check.reference.ReferenceL1` (the L1 emits no events,
     so the wrapper is the only place that decision is observable).
+
+    ``compile=True`` replays the workload from a packed compiled trace
+    (:mod:`repro.sim.compile`) instead of the live generators — the full
+    differential harness then vouches for the compiled stream end to
+    end (``bingo-sim check --compiled``).
     """
     from repro.common.config import small_system
     from repro.obs.sinks import TeeSink
@@ -520,6 +526,15 @@ def run_check(
 
     if system is None:
         system = small_system(num_cores=num_cores)
+    workload_obj = make_workload(workload, seed=seed, scale=scale)
+    if compile:
+        from repro.sim.compile import compile_workload
+
+        workload_obj = compile_workload(
+            workload_obj,
+            records_per_core=instructions_per_core,
+            scale=scale,
+        )
     checker = DifferentialChecker(
         prefetcher=prefetcher,
         num_cores=system.num_cores,
@@ -527,7 +542,7 @@ def run_check(
     )
     invariants = InvariantChecker(strict=False)
     engine = SimulationEngine(
-        workload=make_workload(workload, seed=seed, scale=scale),
+        workload=workload_obj,
         prefetcher=prefetcher,
         system=system,
         params=SimulationParams(

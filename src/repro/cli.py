@@ -87,6 +87,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--profile", action="store_true",
                        help="run under cProfile and print the hottest "
                             "functions (simulator performance debugging)")
+    run_p.add_argument("--no-compile", action="store_true",
+                       help="replay the live workload generators instead "
+                            "of a packed compiled trace (results are "
+                            "identical; see docs/performance.md)")
 
     cmp_p = sub.add_parser("compare", help="compare prefetchers on a workload")
     cmp_p.add_argument("--workload", "-w", required=True)
@@ -97,6 +101,9 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--seed", type=int, default=1234)
     cmp_p.add_argument("--workers", type=int, default=1,
                        help="worker processes for the independent runs")
+    cmp_p.add_argument("--no-compile", action="store_true",
+                       help="replay the live workload generators instead "
+                            "of a shared packed compiled trace")
 
     sweep_p = sub.add_parser(
         "sweep", help="sweep one prefetcher parameter over several values"
@@ -121,6 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="run every sweep point under the strict "
                               "runtime invariant checker (bypasses the "
                               "result cache)")
+    sweep_p.add_argument("--no-compile", action="store_true",
+                         help="replay the live workload generators instead "
+                              "of a shared packed compiled trace (the "
+                              "compiled-trace cache lives next to the "
+                              "result cache under $REPRO_CACHE_DIR)")
 
     check_p = sub.add_parser(
         "check",
@@ -140,6 +152,10 @@ def _build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--seed", type=int, default=11)
     check_p.add_argument("--scale", type=float, default=0.02,
                          help="workload footprint scale (default: 0.02)")
+    check_p.add_argument("--compiled", action="store_true",
+                         help="check the *compiled-trace* replay path: "
+                              "the differential harness consumes packed "
+                              "traces instead of live generators")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("id", choices=sorted(EXPERIMENTS))
@@ -183,6 +199,7 @@ def _cmd_run(args) -> int:
         warmup_instructions=warmup,
         seed=args.seed,
         scale=EXPERIMENT_SCALE,
+        compile=not args.no_compile,
     )
 
     def simulate():
@@ -237,6 +254,7 @@ def _cmd_compare(args) -> int:
         seed=args.seed,
         scale=EXPERIMENT_SCALE,
         workers=args.workers,
+        compile=not args.no_compile,
     )
     baseline = results["none"]
     rows = []
@@ -292,6 +310,7 @@ def _cmd_sweep(args) -> int:
         seed=args.seed,
         scale=EXPERIMENT_SCALE,
         executor=executor,
+        compile=not args.no_compile,
     )
     rows = []
     for value, result in results.items():
@@ -317,6 +336,13 @@ def _cmd_sweep(args) -> int:
         f"{stats.get('executed')} executed "
         f"({stats.get('run_seconds'):.2f}s, {args.workers} workers)"
     )
+    compile_hits = stats.get("trace_compile_hits")
+    compile_misses = stats.get("trace_compile_misses")
+    if compile_hits or compile_misses:
+        print(
+            f"compiled traces: {compile_misses:.0f} compiled, "
+            f"{compile_hits:.0f} cache hits"
+        )
     return 0
 
 
@@ -335,6 +361,7 @@ def _cmd_check(args) -> int:
                 warmup_instructions=args.warmup,
                 seed=args.seed,
                 scale=args.scale,
+                compile=args.compiled,
             )
             print(report.summary())
             if not report.ok:

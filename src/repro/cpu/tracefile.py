@@ -16,6 +16,11 @@ Format: one record per line, ``gzip``-compressed when the path ends in
 with ``pc``/``vaddr`` in hex.  Blank lines and ``#`` comments are
 ignored.  The format is deliberately trivial — greppable, diffable, and
 writable from any language.
+
+Trace files convert losslessly to and from the packed binary arenas the
+engine fast path consumes: see
+:func:`repro.sim.compile.compile_trace_files` and
+:func:`repro.sim.compile.write_compiled_trace`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,213 @@
+"""The on-disk compiled-trace cache: compile once, ``mmap`` everywhere.
+
+A parameter sweep runs the same workload under many prefetcher configs;
+without this cache every one of those jobs would re-drain the workload's
+Python generators record by record.  Compiled arenas are stored under
+``$REPRO_CACHE_DIR/traces`` (the same root as the executor's result
+cache), keyed by a SHA-256 digest of the full trace identity::
+
+    (workload name, seed, scale, cores, records per core,
+     generator version, pack format, byte order)
+
+so the first job of a sweep compiles and every later job — in this
+process or any worker — maps the file read-only and starts replaying
+immediately.  ``STREAM_VERSION`` (``repro.workloads.registry``) is the
+generator version: bumping it when any workload's output changes
+invalidates every compiled trace at once.
+
+File layout (all word sections 8-byte aligned)::
+
+    magic  b"RPROTRC1"
+    u32    length of the JSON header
+    JSON   {"format", "byteorder", "cores", "records", "key": {...}}
+    pad    to 8 bytes
+    u64[]  pcs, one section per core
+    u64[]  addresses, one section per core
+    u8[]   flags, one section per core
+
+Loads go through ``mmap`` with ``ACCESS_READ`` and zero-copy
+``memoryview`` casts, so concurrent workers share one page-cache copy.
+Writes are atomic (temp file + ``os.replace``); torn or mismatched
+files read as misses and are recompiled.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import mmap
+import os
+import struct
+import sys
+import tempfile
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.compile.packed import PACK_FORMAT, PackedCoreTrace, arena_bytes
+
+logger = logging.getLogger("repro.sim.compile")
+
+_MAGIC = b"RPROTRC1"
+_HEADER_LEN = struct.Struct("<I")
+
+#: process-wide compile counters; the executor folds the deltas of a
+#: batch into its own StatGroup (``trace_compile_hits`` / ``_misses``)
+_COUNTERS: Dict[str, int] = {
+    "trace_compile_hits": 0,
+    "trace_compile_misses": 0,
+}
+
+
+def compile_counters() -> Dict[str, int]:
+    """A snapshot of the process-wide compile hit/miss counters."""
+    return dict(_COUNTERS)
+
+
+def _count(key: str) -> None:
+    _COUNTERS[key] += 1
+
+
+def trace_key(
+    workload: str,
+    seed: int,
+    scale: float,
+    num_cores: int,
+    records_per_core: int,
+) -> Dict[str, object]:
+    """The canonical identity of a compiled trace (the cache key)."""
+    from repro.workloads.registry import STREAM_VERSION
+
+    return {
+        "workload": workload,
+        "seed": seed,
+        "scale": scale,
+        "cores": num_cores,
+        "records": records_per_core,
+        "stream_version": STREAM_VERSION,
+        "format": PACK_FORMAT,
+        "byteorder": sys.byteorder,
+    }
+
+
+def key_digest(key: Dict[str, object]) -> str:
+    payload = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+class TraceCache:
+    """Digest-addressed store of compiled trace arenas.
+
+    One file per trace under ``<root>/traces/<digest[:2]>/<digest>.trc``;
+    the root defaults to the executor's cache root (``$REPRO_CACHE_DIR``
+    or ``~/.cache/repro``).
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        if root is None:
+            from repro.sim.executor import default_cache_dir
+
+            root = default_cache_dir()
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / "traces" / digest[:2] / f"{digest}.trc"
+
+    # -- store --------------------------------------------------------------
+    def store(
+        self, digest: str, key: Dict[str, object],
+        cores: Sequence[PackedCoreTrace],
+    ) -> Path:
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps(
+            {
+                "format": PACK_FORMAT,
+                "byteorder": sys.byteorder,
+                "cores": len(cores),
+                "records": cores[0].records if cores else 0,
+                "key": key,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        prefix_len = len(_MAGIC) + _HEADER_LEN.size + len(header)
+        padding = b"\0" * (_align8(prefix_len) - prefix_len)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".trc"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(_HEADER_LEN.pack(len(header)))
+                handle.write(header)
+                handle.write(padding)
+                for section in arena_bytes(cores):
+                    handle.write(section)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- load ---------------------------------------------------------------
+    def load(
+        self, digest: str, key: Dict[str, object]
+    ) -> Optional[List[PackedCoreTrace]]:
+        """Map a compiled trace read-only; ``None`` on any mismatch.
+
+        The returned per-core sections are zero-copy ``memoryview``
+        casts into the mapping; the mapping itself stays alive for as
+        long as any view does (CPython keeps the exporting buffer
+        pinned), so callers just hold the views.
+        """
+        path = self.path_for(digest)
+        try:
+            with open(path, "rb") as handle:
+                mapping = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except (OSError, ValueError):
+            return None
+        view = memoryview(mapping)
+        try:
+            if bytes(view[: len(_MAGIC)]) != _MAGIC:
+                return None
+            (header_len,) = _HEADER_LEN.unpack_from(view, len(_MAGIC))
+            start = len(_MAGIC) + _HEADER_LEN.size
+            header = json.loads(bytes(view[start : start + header_len]))
+            if (
+                header.get("format") != PACK_FORMAT
+                or header.get("byteorder") != sys.byteorder
+                or header.get("key") != key
+            ):
+                return None
+            num_cores = header["cores"]
+            records = header["records"]
+            data = _align8(start + header_len)
+            words = records * 8
+            expected = data + num_cores * (2 * words + records)
+            if len(view) < expected:
+                return None
+            cores: List[PackedCoreTrace] = []
+            flags_base = data + 2 * num_cores * words
+            for core_id in range(num_cores):
+                pcs = view[
+                    data + core_id * words : data + (core_id + 1) * words
+                ].cast("Q")
+                addr_off = data + num_cores * words + core_id * words
+                addresses = view[addr_off : addr_off + words].cast("Q")
+                flags = view[
+                    flags_base + core_id * records :
+                    flags_base + (core_id + 1) * records
+                ]
+                cores.append(PackedCoreTrace(pcs, addresses, flags, records))
+            return cores
+        except (KeyError, ValueError, struct.error):
+            return None

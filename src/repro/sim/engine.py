@@ -28,7 +28,14 @@ from repro.obs.sinks import NULL_SINK, TraceSink, build_sink
 from repro.obs.timeline import TimelineRecorder
 from repro.prefetchers.base import Prefetcher
 from repro.prefetchers.registry import make_prefetcher
+from repro.sim.compile.workload import CompiledWorkload
 from repro.sim.results import CoreResult, SimResult
+
+#: Version of the specialised compiled-trace inner loop.  Bump on any
+#: change to ``_run_until_compiled`` (or the state it mirrors from
+#: ``CoreTimingModel``): the executor folds it into result-cache digests
+#: so entries produced by an older fast path are never served.
+FASTPATH_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -166,21 +173,153 @@ class SimulationEngine:
             if core.instructions < budget_per_core:
                 heapq.heappush(heap, (core.next_issue_time(), core_id))
 
+    def _fast_path_eligible(self) -> bool:
+        """True when the specialised compiled-trace loop may replace
+        :meth:`_run_until`.
+
+        The fast path skips per-record sink guards and timeline
+        bookkeeping, so it only engages when both are provably inert:
+        the sink is the module-level ``NULL_SINK`` and the timeline
+        recorder is off.  Anything else — or a trace compiled shorter
+        than the run — falls back to the general loop, byte-for-byte.
+        """
+        return (
+            isinstance(self.workload, CompiledWorkload)
+            and self.sink is NULL_SINK
+            and self.timeline is None
+            and self.workload.records_per_core
+            >= self.params.instructions_per_core
+        )
+
+    def _run_until_compiled(self, arenas, cursors, budget_per_core: int) -> None:
+        """:meth:`_run_until`, specialised for packed compiled traces.
+
+        Replays the packed pc/address/flag words directly — no
+        ``TraceRecord`` allocation, no generator frames — and inlines
+        :class:`~repro.cpu.core.CoreTimingModel`'s dispatch/retire
+        arithmetic over local mirrors of its state (written back on
+        exit, before any snapshot can observe them).  Every float is
+        produced by the same operations in the same order as the
+        general loop, so results are bit-identical; the equivalence
+        suite (``tests/sim/test_compile.py``) holds this to
+        field-for-field ``SimResult`` equality.
+        """
+        cores = self.cores
+        access = self.hierarchy.access
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        # local mirrors of per-core CoreTimingModel state
+        counts = [core._count for core in cores]
+        last_dispatch = [core._last_dispatch for core in cores]
+        last_retire = [core._last_retire for core in cores]
+        last_load_complete = [core._last_load_complete for core in cores]
+        rings = [core._retire_ring for core in cores]
+        robs = [core._rob for core in cores]
+        intervals = [core._dispatch_interval for core in cores]
+        pcs = [arena.pcs for arena in arenas]
+        addresses = [arena.addresses for arena in arenas]
+        flags = [arena.flags for arena in arenas]
+
+        heap = []
+        for core_id in range(len(cores)):
+            count = counts[core_id]
+            if count < budget_per_core:
+                dispatch = last_dispatch[core_id] + intervals[core_id]
+                if count >= robs[core_id]:
+                    ready = rings[core_id][count % robs[core_id]]
+                    if ready > dispatch:
+                        dispatch = ready
+                heap.append((dispatch, core_id))
+        heapq.heapify(heap)
+
+        try:
+            while heap:
+                _, core_id = heappop(heap)
+                index = cursors[core_id]
+                cursors[core_id] = index + 1
+                count = counts[core_id]
+                ring = rings[core_id]
+                rob = robs[core_id]
+                # next_issue_time()
+                dispatch = last_dispatch[core_id] + intervals[core_id]
+                if count >= rob:
+                    ready = ring[count % rob]
+                    if ready > dispatch:
+                        dispatch = ready
+                bits = flags[core_id][index]
+                if bits:  # memory instruction
+                    issue = dispatch
+                    if bits & 4:  # depends_on_prev_load
+                        arrived = last_load_complete[core_id]
+                        if arrived > issue:
+                            issue = arrived
+                    result = access(
+                        core_id,
+                        pcs[core_id][index],
+                        addresses[core_id][index],
+                        issue,
+                        bool(bits & 2),  # is_write
+                    )
+                    complete = issue + result.latency
+                    if not bits & 2:
+                        last_load_complete[core_id] = complete
+                else:
+                    complete = dispatch + 1.0  # CoreTimingModel.ALU_LATENCY
+                retire = last_retire[core_id]
+                if complete > retire:
+                    retire = complete
+                ring[count % rob] = retire
+                count += 1
+                counts[core_id] = count
+                last_dispatch[core_id] = dispatch
+                last_retire[core_id] = retire
+                if count < budget_per_core:
+                    dispatch = dispatch + intervals[core_id]
+                    if count >= rob:
+                        ready = ring[count % rob]
+                        if ready > dispatch:
+                            dispatch = ready
+                    heappush(heap, (dispatch, core_id))
+        finally:
+            # write the mirrors back so snapshots/results see the same
+            # state the general loop would have left (even on error)
+            for core_id, core in enumerate(cores):
+                core._count = counts[core_id]
+                core._last_dispatch = last_dispatch[core_id]
+                core._last_retire = last_retire[core_id]
+                core._last_load_complete = last_load_complete[core_id]
+                core._stat_instructions.value = counts[core_id]
+                core._stat_cycles.value = last_retire[core_id]
+
     # -- the full run -----------------------------------------------------------
     def run(self) -> SimResult:
         params = self.params
-        streams = {
-            core_id: self.workload.core_stream(core_id)
-            for core_id in range(self.system.num_cores)
-        }
+        if self._fast_path_eligible():
+            arenas = [
+                self.workload.packed(core_id)
+                for core_id in range(self.system.num_cores)
+            ]
+            cursors = [0] * self.system.num_cores
+
+            def advance(budget: int) -> None:
+                self._run_until_compiled(arenas, cursors, budget)
+
+        else:
+            streams = {
+                core_id: self.workload.core_stream(core_id)
+                for core_id in range(self.system.num_cores)
+            }
+
+            def advance(budget: int) -> None:
+                self._run_until(streams, budget)
 
         try:
             if params.warmup_instructions:
-                self._run_until(streams, params.warmup_instructions)
+                advance(params.warmup_instructions)
             snapshot = self.stats.snapshot()
             core_marks = [(core.instructions, core.time) for core in self.cores]
 
-            self._run_until(streams, params.instructions_per_core)
+            advance(params.instructions_per_core)
             self.hierarchy.finalize()
             final = self.stats.snapshot()
 

@@ -38,14 +38,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.common.config import SystemConfig
 from repro.common.stats import StatGroup
 from repro.obs.config import ObservabilityConfig
-from repro.sim.engine import SimulationEngine, SimulationParams
+from repro.sim.engine import FASTPATH_VERSION, SimulationEngine, SimulationParams
 from repro.sim.results import SimResult
 
 #: bump when the cache entry layout (not the simulated semantics) changes
 #: schema 2: job specs carry the observability config (timeline samples
 #: live in the result, so two runs differing only in ``timeline_interval``
 #: must not share a cache entry)
-CACHE_SCHEMA = 2
+#: schema 3: jobs carry the trace-compile flag and digests fold in the
+#: engine fast-path version, so results cached before the compiled trace
+#: pipeline existed can never be served for compiled-path runs
+CACHE_SCHEMA = 3
 
 KwargItems = Tuple[Tuple[str, object], ...]
 
@@ -85,6 +88,11 @@ class SimJob:
     scale: float = 1.0
     train_at: str = "llc"
     obs: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    #: replay a packed compiled trace (shared across the sweep via the
+    #: on-disk trace cache) instead of re-draining the generators; the
+    #: two paths produce identical results, but the flag is still part
+    #: of the job identity because it selects the execution machinery
+    compile: bool = True
 
     @classmethod
     def build(
@@ -99,6 +107,7 @@ class SimJob:
         prefetcher_kwargs: Optional[dict] = None,
         train_at: str = "llc",
         obs: Optional[ObservabilityConfig] = None,
+        compile: bool = True,
     ) -> "SimJob":
         """Mirror of :func:`repro.sim.runner.run_simulation`'s signature."""
         return cls(
@@ -114,6 +123,7 @@ class SimJob:
             scale=scale,
             train_at=train_at,
             obs=obs if obs is not None else ObservabilityConfig(),
+            compile=compile,
         )
 
     def spec(self) -> Dict[str, object]:
@@ -131,6 +141,7 @@ class SimJob:
             # samples) and the run's side effects (trace files), so it
             # is part of the identity of a cached entry.
             "obs": _canonical(asdict(self.obs)),
+            "compile": self.compile,
         }
 
     @property
@@ -144,15 +155,47 @@ class SimJob:
         return not self.obs.has_side_effects
 
     def digest(self) -> str:
-        """Stable cache key: job spec + code version + cache schema."""
+        """Stable cache key: job spec + code version + cache schema.
+
+        The engine fast-path version rides along so a change to the
+        specialised compiled-trace loop invalidates every entry it
+        could have produced.
+        """
         from repro import __version__
 
         payload = json.dumps(
-            {"schema": CACHE_SCHEMA, "version": __version__, "job": self.spec()},
+            {
+                "schema": CACHE_SCHEMA,
+                "version": __version__,
+                "fastpath": FASTPATH_VERSION,
+                "job": self.spec(),
+            },
             sort_keys=True,
             separators=(",", ":"),
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _job_workload(job: SimJob):
+    """The job's workload, compiled to a packed trace when requested.
+
+    Compilation keys the on-disk trace cache with the job's full trace
+    identity (name, seed, scale, cores, budget), so the N prefetcher
+    configs of a sweep that share one workload compile it exactly once;
+    later jobs — in this process or any worker — ``mmap`` the arena.
+    """
+    from repro.workloads.registry import make_workload
+
+    workload = make_workload(job.workload, seed=job.seed, scale=job.scale)
+    if job.compile:
+        from repro.sim.compile import compile_workload
+
+        workload = compile_workload(
+            workload,
+            records_per_core=job.params.instructions_per_core,
+            scale=job.scale,
+        )
+    return workload
 
 
 def execute_job(job: SimJob) -> SimResult:
@@ -163,10 +206,8 @@ def execute_job(job: SimJob) -> SimResult:
     rebuilt from ``(name, seed, scale)``, and all stream RNGs are seeded
     from those values, so the result is a pure function of the job spec.
     """
-    from repro.workloads.registry import make_workload
-
     engine = SimulationEngine(
-        workload=make_workload(job.workload, seed=job.seed, scale=job.scale),
+        workload=_job_workload(job),
         prefetcher=job.prefetcher,
         system=job.system,
         params=job.params,
@@ -189,13 +230,12 @@ def execute_job_checked(job: SimJob) -> SimResult:
     """
     from repro.check.invariants import InvariantChecker
     from repro.obs.sinks import TeeSink, build_sink
-    from repro.workloads.registry import make_workload
 
     checker = InvariantChecker(strict=True)
     obs_sink = build_sink(job.obs)
     sink = checker if obs_sink is None else TeeSink([checker, obs_sink])
     engine = SimulationEngine(
-        workload=make_workload(job.workload, seed=job.seed, scale=job.scale),
+        workload=_job_workload(job),
         prefetcher=job.prefetcher,
         system=job.system,
         params=job.params,
@@ -311,7 +351,11 @@ class Executor:
 
     ``stats`` counters: ``jobs``, ``cache_hits``, ``cache_misses``,
     ``cache_skipped`` (uncacheable side-effecting jobs), ``executed``,
-    ``run_seconds`` (wall-clock of the execution phase).
+    ``run_seconds`` (wall-clock of the execution phase), and — for
+    in-process execution — ``trace_compile_hits``/``trace_compile_misses``
+    from the compiled-trace cache (worker processes report theirs via
+    the ``repro.sim.compile`` log instead; counters do not cross the
+    process boundary).
 
     ``check=True`` runs every job through :func:`execute_job_checked`
     (strict runtime invariant checking) and bypasses the result cache in
@@ -370,10 +414,17 @@ class Executor:
             pending_jobs.append(job)
 
         if pending_jobs:
+            from repro.sim.compile import compile_counters
+
+            compiles_before = compile_counters()
             start = time.perf_counter()
             executed = self._execute(pending_jobs)
             self.stats.add("run_seconds", time.perf_counter() - start)
             self.stats.add("executed", len(pending_jobs))
+            for counter, value in compile_counters().items():
+                delta = value - compiles_before[counter]
+                if delta:
+                    self.stats.add(counter, delta)
             for job, result in zip(pending_jobs, executed):
                 if self.cache is not None and job.cacheable and not self.check:
                     self.cache.store(job, result)

@@ -14,9 +14,9 @@ from repro.workloads.registry import make_workload
 def _resolve_workload(
     workload: Union[str, Workload], seed: int, scale: float
 ) -> Workload:
-    if isinstance(workload, Workload):
-        return workload
-    return make_workload(workload, seed=seed, scale=scale)
+    if isinstance(workload, str):
+        return make_workload(workload, seed=seed, scale=scale)
+    return workload  # a Workload or CompiledWorkload instance, as-is
 
 
 def run_simulation(
@@ -32,22 +32,38 @@ def run_simulation(
     train_at: str = "llc",
     obs=None,
     sink=None,
+    compile: bool = False,
 ) -> SimResult:
     """Run one workload under one prefetcher; returns the measured window.
 
-    ``workload`` may be a Table II name (``"em3d"``) or a custom
-    :class:`repro.workloads.base.Workload`.  ``prefetcher_kwargs`` are
-    forwarded to the prefetcher factory (e.g. ``{"degree": 32}`` for the
-    Fig. 10 aggressive variants); ``prefetchers`` may instead supply
+    ``workload`` may be a Table II name (``"em3d"``), a custom
+    :class:`repro.workloads.base.Workload`, or an already-compiled
+    :class:`repro.sim.compile.CompiledWorkload`.  ``prefetcher_kwargs``
+    are forwarded to the prefetcher factory (e.g. ``{"degree": 32}`` for
+    the Fig. 10 aggressive variants); ``prefetchers`` may instead supply
     ready-built per-core instances (used by the motivation experiments
     that need to interrogate the prefetcher afterwards).
 
     ``obs`` (an :class:`repro.obs.ObservabilityConfig`) turns on event
     tracing and/or timeline sampling; ``sink`` supplies a ready-made
     :class:`repro.obs.TraceSink` instead of a trace file.
+
+    ``compile=True`` packs the workload's streams into a compiled trace
+    first (cached on disk for named workloads, where the trace identity
+    is fully known), enabling the engine's allocation-free replay loop;
+    results are identical either way.
     """
+    resolved = _resolve_workload(workload, seed, scale)
+    if compile:
+        from repro.sim.compile import compile_workload
+
+        resolved = compile_workload(
+            resolved,
+            records_per_core=instructions_per_core,
+            scale=scale if isinstance(workload, str) else None,
+        )
     engine = SimulationEngine(
-        workload=_resolve_workload(workload, seed, scale),
+        workload=resolved,
         prefetcher=prefetcher,
         system=system,
         params=SimulationParams(
@@ -76,6 +92,7 @@ def compare_prefetchers(
     workers: int = 1,
     cache=None,
     executor=None,
+    compile: bool = True,
 ) -> Dict[str, SimResult]:
     """Run a workload under several prefetchers (plus the baseline).
 
@@ -88,6 +105,11 @@ def compare_prefetchers(
     (and optionally a ``repro.sim.executor.ResultCache`` as ``cache``) or
     a pre-built ``executor`` to fan out / memoise.  A ``Workload``
     *instance* pins the comparison to the in-process serial path.
+
+    ``compile`` (default on) replays each run from a packed compiled
+    trace — built once and shared by every prefetcher in the comparison
+    — instead of re-draining the workload generators per run; results
+    are identical either way.
     """
     names = list(prefetchers)
     if include_baseline and "none" not in names:
@@ -95,7 +117,13 @@ def compare_prefetchers(
     kwargs_by_name = prefetcher_kwargs or {}
     results: Dict[str, SimResult] = {}
 
-    if isinstance(workload, Workload):
+    if not isinstance(workload, str):
+        if compile:
+            from repro.sim.compile import compile_workload
+
+            workload = compile_workload(
+                workload, records_per_core=instructions_per_core
+            )
         for name in names:
             results[name] = run_simulation(
                 workload,
@@ -120,6 +148,7 @@ def compare_prefetchers(
             seed=seed,
             scale=scale,
             prefetcher_kwargs=kwargs_by_name.get(name),
+            compile=compile,
         )
         for name in names
     ]

@@ -25,6 +25,7 @@ def sweep_prefetcher_parameter(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
+    compile: bool = True,
 ) -> Dict[object, SimResult]:
     """Run the same (workload, prefetcher) across values of one parameter.
 
@@ -38,9 +39,20 @@ def sweep_prefetcher_parameter(
     ``Workload`` *instance* pins the sweep to the in-process serial path
     (instances are not portable across worker processes); pass the
     workload name to parallelise.
+
+    All sweep points share one workload trace, so with ``compile`` on
+    (the default) it is packed once — via the on-disk compiled-trace
+    cache for named workloads, in-memory for instances — and every
+    point replays the arena instead of re-draining the generators.
     """
     values = list(values)
-    if isinstance(workload, Workload):
+    if not isinstance(workload, str):
+        if compile:
+            from repro.sim.compile import compile_workload
+
+            workload = compile_workload(
+                workload, records_per_core=instructions_per_core
+            )
         results: Dict[object, SimResult] = {}
         for value in values:
             kwargs = dict(base_kwargs or {})
@@ -71,6 +83,7 @@ def sweep_prefetcher_parameter(
                 seed=seed,
                 scale=scale,
                 prefetcher_kwargs=kwargs,
+                compile=compile,
             )
         )
     if executor is None:

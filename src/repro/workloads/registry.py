@@ -9,6 +9,12 @@ from repro.workloads.mixes import MIX_COMPOSITIONS, make_mix
 from repro.workloads.scientific import em3d
 from repro.workloads.server import data_serving, sat_solver, streaming, zeus
 
+#: Version of the workload generators' *output*.  Bump whenever any
+#: registered generator's record stream changes for a given (name, seed,
+#: scale) — it is folded into every compiled-trace cache key
+#: (:mod:`repro.sim.compile`), so stale packed traces can never replay.
+STREAM_VERSION = 1
+
 _FACTORIES: Dict[str, Callable[[float], Workload]] = {
     "data_serving": data_serving,
     "sat_solver": sat_solver,

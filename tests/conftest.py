@@ -2,12 +2,33 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
 from repro.common.addresses import AddressMap
 from repro.common.config import small_system
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_dir(tmp_path_factory):
+    """Point ``REPRO_CACHE_DIR`` at a session temp dir.
+
+    Jobs compile workload traces (and may store results) under the
+    cache root by default; the suite must never write into the
+    developer's real ``~/.cache/repro``.  Tests that care about the
+    variable override it per-test with ``monkeypatch``.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -136,3 +136,46 @@ class TestReplayWorkload:
         b = run_simulation(replayed, prefetcher="bingo", **run)
         assert a.demand_misses == b.demand_misses
         assert a.covered == b.covered
+
+
+class TestCompiledBridge:
+    """Text trace files ⇄ packed compiled arenas round-trip losslessly."""
+
+    def test_trace_files_to_compiled_and_back(self, tmp_path):
+        original = make_workload("streaming", scale=0.02, seed=21)
+        paths = capture_workload(original, tmp_path, records_per_core=80)
+        from repro.sim.compile import compile_trace_files, write_compiled_trace
+
+        compiled = compile_trace_files("bridge", paths)
+        assert compiled.records_per_core == 80
+        for core_id in paths:
+            assert list(compiled.packed(core_id).decode()) == \
+                list(read_trace(paths[core_id]))
+
+        out = write_compiled_trace(compiled, tmp_path / "out", compress=False)
+        for core_id in paths:
+            assert list(read_trace(out[core_id])) == \
+                list(read_trace(paths[core_id]))
+
+    def test_uneven_files_truncate_to_shortest(self, tmp_path):
+        from repro.sim.compile import compile_trace_files
+
+        a, b = tmp_path / "a.trace", tmp_path / "b.trace"
+        write_trace(a, [TraceRecord.compute(pc) for pc in range(5)])
+        write_trace(b, [TraceRecord.compute(pc) for pc in range(3)])
+        compiled = compile_trace_files("uneven", {0: a, 1: b})
+        assert compiled.records_per_core == 3
+        with pytest.raises(ValueError, match="holds 3 records"):
+            compile_trace_files("uneven", {0: a, 1: b}, records_per_core=5)
+
+    def test_compiled_gzip_round_trip(self, tmp_path):
+        from repro.sim.compile import compile_trace_files, write_compiled_trace
+
+        original = make_workload("em3d", scale=0.02, seed=21)
+        paths = capture_workload(original, tmp_path, records_per_core=40)
+        compiled = compile_trace_files("gz", paths)
+        out = write_compiled_trace(compiled, tmp_path / "gz", compress=True)
+        recompiled = compile_trace_files("gz", out)
+        for core_id in out:
+            assert list(recompiled.packed(core_id).decode()) == \
+                list(compiled.packed(core_id).decode())
