@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-report experiments clean
+.PHONY: install test bench bench-quick bench-report experiments serve-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -26,6 +26,11 @@ bench-quick:
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt
+
+# Black-box smoke of the bingo-sim serve daemon: start, submit over
+# HTTP, compare against a direct run, SIGTERM, assert a clean drain
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
 
 # Regenerate a single paper figure, e.g. `make fig8`
 table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10:

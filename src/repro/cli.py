@@ -19,6 +19,13 @@ Subcommands:
   prefetcher) matrix against untimed reference models plus the runtime
   invariant checker and reports the first divergence, if any (see
   ``docs/correctness.md``).
+* ``serve`` — run the simulation daemon: async job queue + HTTP API
+  with shared caches, retries, timeouts, and graceful SIGTERM drain
+  (see ``docs/service.md``).
+* ``submit`` — send one job to a running daemon (``--wait`` polls it to
+  completion and prints the summary).
+* ``jobs`` — list a daemon's jobs, show one record, or (``--metrics``)
+  dump its counters.  ``$REPRO_SERVE_URL`` overrides the default URL.
 """
 
 from __future__ import annotations
@@ -156,6 +163,59 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="check the *compiled-trace* replay path: "
                               "the differential harness consumes packed "
                               "traces instead of live generators")
+
+    from repro.serve.api import DEFAULT_PORT
+
+    serve_p = sub.add_parser(
+        "serve", help="run the simulation service daemon (docs/service.md)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="parallel worker slots (each its own process)")
+    serve_p.add_argument("--timeout", type=float, default=300.0,
+                         help="per-job wall-clock budget in seconds "
+                              "(0 disables; overdue workers are killed)")
+    serve_p.add_argument("--retries", type=int, default=3,
+                         help="max executions per job (crashes/timeouts "
+                              "retry with exponential backoff)")
+    serve_p.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="persist the pending queue here on SIGTERM "
+                              "and restore it on the next start")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="disable the shared on-disk result cache")
+    serve_p.add_argument("--quiet", action="store_true",
+                         help="suppress startup/drain log lines")
+
+    default_url = f"http://127.0.0.1:{DEFAULT_PORT}"
+    submit_p = sub.add_parser(
+        "submit", help="submit a job to a running service daemon"
+    )
+    submit_p.add_argument("--workload", "-w", required=True)
+    submit_p.add_argument("--prefetcher", "-p", default="bingo")
+    submit_p.add_argument("--instructions", type=int, default=None)
+    submit_p.add_argument("--warmup", type=int, default=None)
+    submit_p.add_argument("--seed", type=int, default=1234)
+    submit_p.add_argument("--priority", type=int, default=0,
+                          help="higher runs sooner (default 0)")
+    submit_p.add_argument("--url", default=None,
+                          help=f"service base URL (default: "
+                               f"$REPRO_SERVE_URL or {default_url})")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes and print "
+                               "the result summary")
+    submit_p.add_argument("--wait-timeout", type=float, default=600.0)
+
+    jobs_p = sub.add_parser(
+        "jobs", help="inspect a running service daemon's jobs"
+    )
+    jobs_p.add_argument("id", nargs="?", default=None,
+                        help="job id to show in full (default: list all)")
+    jobs_p.add_argument("--url", default=None,
+                        help=f"service base URL (default: "
+                             f"$REPRO_SERVE_URL or {default_url})")
+    jobs_p.add_argument("--metrics", action="store_true",
+                        help="print the service's counters instead")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("id", choices=sorted(EXPERIMENTS))
@@ -374,6 +434,110 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import RetryPolicy, ServiceConfig, run_server
+
+    config = ServiceConfig(
+        workers=args.workers,
+        job_timeout=args.timeout,
+        retry=RetryPolicy(max_attempts=max(1, args.retries)),
+        state_dir=args.state_dir,
+        cache_dir=None if args.no_cache else "",
+    )
+    run_server(
+        config,
+        host=args.host,
+        port=args.port,
+        verbose=not args.quiet,
+    )
+    return 0
+
+
+def _serve_url(args) -> str:
+    import os
+
+    from repro.serve.api import DEFAULT_PORT
+
+    if args.url:
+        return args.url
+    return os.environ.get(
+        "REPRO_SERVE_URL", f"http://127.0.0.1:{DEFAULT_PORT}"
+    )
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import ServiceClient, ServiceError
+
+    instructions, warmup = _params(args)
+    spec = {
+        "workload": args.workload,
+        "prefetcher": args.prefetcher,
+        "instructions": instructions,
+        "warmup": warmup,
+        "seed": args.seed,
+        "scale": EXPERIMENT_SCALE,
+        "system": "experiment",
+    }
+    client = ServiceClient(_serve_url(args))
+    try:
+        accepted = client.submit(spec, priority=args.priority)
+    except (ServiceError, OSError) as exc:
+        print(f"error: submit failed: {exc}", file=sys.stderr)
+        return 1
+    dedup = " (deduplicated onto in-flight job)" if accepted["deduped"] else ""
+    print(f"job {accepted['id']} {accepted['state']}{dedup}")
+    if not args.wait:
+        return 0
+    try:
+        record = client.wait(accepted["id"], timeout=args.wait_timeout)
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"error: wait failed: {exc}", file=sys.stderr)
+        return 1
+    if record["state"] != "done":
+        print(f"job {record['id']} failed: {record.get('error')}",
+              file=sys.stderr)
+        return 1
+    rows = [dict(metric=k, value=round(v, 4))
+            for k, v in record["summary"].items()]
+    print(format_table(rows, title=f"{args.workload} / {args.prefetcher}"))
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json as _json
+
+    from repro.serve import ServiceClient, ServiceError
+
+    client = ServiceClient(_serve_url(args))
+    try:
+        if args.metrics:
+            print(_json.dumps(client.metrics(), indent=2, sort_keys=True))
+            return 0
+        if args.id:
+            print(_json.dumps(client.status(args.id), indent=2))
+            return 0
+        records = client.jobs()
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print("no jobs")
+        return 0
+    rows = [
+        {
+            "id": r["id"],
+            "state": r["state"],
+            "workload": r["job"]["workload"],
+            "prefetcher": r["job"]["prefetcher"],
+            "priority": r["priority"],
+            "attempts": r["attempts"],
+        }
+        for r in records
+    ]
+    print(format_table(rows, title=f"jobs at {client.base_url}"))
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     if args.workers is not None:
         import os
@@ -402,6 +566,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     return _cmd_experiment(args)
 
 

@@ -1,0 +1,50 @@
+"""``repro.serve`` — the resilient simulation service.
+
+Turns the one-shot simulation machinery into a long-lived daemon:
+an async job queue with priorities and in-flight dedup
+(:mod:`repro.serve.queue`), a supervisor providing retries with
+exponential backoff, per-job wall-clock timeouts and a circuit breaker
+(:mod:`repro.serve.supervisor`), an HTTP JSON API over the stdlib
+(:mod:`repro.serve.api`), and a urllib client
+(:mod:`repro.serve.client`).  All worker slots share one on-disk
+result cache and compiled-trace cache, so a fleet of figure sweeps
+against one warm daemon deduplicates work across *clients*, not just
+within a batch.  See ``docs/service.md``.
+"""
+
+from repro.serve.api import DEFAULT_PORT, make_server, run_server
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.jobs import (
+    JobRecord,
+    JobState,
+    job_from_wire,
+    job_to_wire,
+)
+from repro.serve.metrics import LatencyHistogram
+from repro.serve.queue import JobQueue
+from repro.serve.service import (
+    QuarantinedError,
+    ServiceConfig,
+    SimulationService,
+)
+from repro.serve.supervisor import CircuitBreaker, RetryPolicy, Supervisor
+
+__all__ = [
+    "DEFAULT_PORT",
+    "CircuitBreaker",
+    "JobQueue",
+    "JobRecord",
+    "JobState",
+    "LatencyHistogram",
+    "QuarantinedError",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SimulationService",
+    "Supervisor",
+    "job_from_wire",
+    "job_to_wire",
+    "make_server",
+    "run_server",
+]

@@ -1,0 +1,248 @@
+"""The HTTP JSON API — stdlib only, no new runtime dependencies.
+
+Routes (all JSON in, JSON out):
+
+* ``POST /jobs`` — submit one job (``{"job": {...}, "priority": 0}``)
+  or a batch (``{"jobs": [{...}, ...]}``).  Returns 202 with one entry
+  per job: ``{"id", "state", "deduped"}``.  A deduplicated submission
+  returns the *existing* record's id — both clients poll the same job.
+  429 when the circuit breaker has the spec quarantined, 503 while
+  draining, 400 for malformed specs.
+* ``GET /jobs/<id>`` — full record: state, attempts, timestamps, typed
+  error, and (when done) the result + summary metrics.
+* ``GET /jobs`` — newest-first summaries (no result payloads).
+* ``GET /healthz`` — liveness + drain state + queue gauges.
+* ``GET /metrics`` — the service's full counter tree (see
+  :meth:`repro.serve.service.SimulationService.metrics`).
+
+The server is a ``ThreadingHTTPServer``: handler threads only touch the
+thread-safe service object, while simulations run in the service's own
+worker slots.  :func:`run_server` adds the process envelope — SIGTERM /
+SIGINT trigger a graceful drain (finish running jobs, persist pending)
+before the process exits; see ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.jobs import job_from_wire
+from repro.serve.service import (
+    QuarantinedError,
+    ServiceConfig,
+    SimulationService,
+)
+
+#: default TCP port; "BI" from Bingo on a phone keypad, roughly
+DEFAULT_PORT = 8424
+
+#: request bodies larger than this are rejected outright (a batch of
+#: thousands of fully custom systems still fits comfortably)
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; the service instance hangs off the server object."""
+
+    server_version = "bingo-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -----------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, **extra) -> None:
+        self._send_json(status, dict({"error": message}, **extra))
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._error(400, "body is not valid JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "body must be a JSON object")
+            return None
+        return payload
+
+    # -- GET ----------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self.service.health())
+        elif path == "/metrics":
+            self._send_json(200, self.service.metrics())
+        elif path == "/jobs":
+            records = self.service.queue.records()
+            self._send_json(
+                200,
+                {
+                    "jobs": [
+                        record.to_dict(include_result=False)
+                        for record in records
+                    ]
+                },
+            )
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            record = self.service.get(job_id)
+            if record is None:
+                self._error(404, f"no such job: {job_id}")
+            else:
+                self._send_json(200, record.to_dict())
+        else:
+            self._error(404, f"no such route: {path}")
+
+    # -- POST ---------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"no such route: {path}")
+            return
+        payload = self._read_body()
+        if payload is None:
+            return
+        if "jobs" in payload:
+            specs = payload["jobs"]
+            if not isinstance(specs, list) or not specs:
+                self._error(400, "'jobs' must be a non-empty array")
+                return
+        elif "job" in payload:
+            specs = [payload["job"]]
+        else:
+            self._error(400, "body needs 'job' (object) or 'jobs' (array)")
+            return
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int):
+            self._error(400, "'priority' must be an integer")
+            return
+
+        try:
+            jobs = [job_from_wire(spec) for spec in specs]
+        except (ValueError, TypeError) as exc:
+            self._error(400, f"bad job spec: {exc}")
+            return
+
+        accepted = []
+        try:
+            for job in jobs:
+                record, deduped = self.service.submit(job, priority=priority)
+                accepted.append(
+                    {
+                        "id": record.id,
+                        "state": record.state.value,
+                        "deduped": deduped,
+                        "digest": record.digest,
+                    }
+                )
+        except QuarantinedError as exc:
+            self._error(
+                429,
+                str(exc),
+                retry_after=round(exc.retry_after, 3),
+                accepted=accepted,
+            )
+            return
+        except RuntimeError as exc:  # queue closed: draining
+            self._error(503, str(exc), accepted=accepted)
+            return
+        self._send_json(202, {"jobs": accepted})
+
+
+def make_server(
+    service: SimulationService,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``service`` (not yet serving)."""
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def run_server(
+    config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    verbose: bool = True,
+    install_signals: bool = True,
+    ready: Optional[threading.Event] = None,
+) -> Tuple[SimulationService, int]:
+    """Run the daemon until SIGTERM/SIGINT, then drain gracefully.
+
+    Blocks the calling thread.  Returns ``(service, persisted_count)``
+    after the drain so embedding callers (tests, the smoke tool) can
+    assert on the shutdown.  ``ready`` is set once the socket is
+    listening and the slots are started.
+    """
+    service = SimulationService(config)
+    server = make_server(service, host=host, port=port, verbose=verbose)
+    stop = threading.Event()
+
+    if install_signals:
+        def _request_stop(signum, frame):  # pragma: no cover - signal path
+            stop.set()
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+
+    service.start()
+    serve_thread = threading.Thread(
+        target=server.serve_forever, name="serve-http", daemon=True
+    )
+    serve_thread.start()
+    if verbose:
+        bound = server.server_address
+        print(
+            f"bingo-serve listening on http://{bound[0]}:{bound[1]} "
+            f"({service.config.workers} workers, "
+            f"timeout {service.config.job_timeout:g}s)",
+            flush=True,
+        )
+    if ready is not None:
+        ready.set()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    if verbose:
+        print("bingo-serve draining: finishing running jobs...", flush=True)
+    persisted = service.drain()
+    server.shutdown()
+    server.server_close()
+    serve_thread.join(5.0)
+    if verbose:
+        print(
+            f"bingo-serve drained cleanly ({persisted} pending job(s) "
+            "persisted for restart)",
+            flush=True,
+        )
+    return service, persisted

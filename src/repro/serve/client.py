@@ -1,0 +1,135 @@
+"""A tiny urllib-based client for the simulation service.
+
+No dependencies beyond the stdlib, mirroring the server.  Experiments
+and sweeps use it to run against a warm daemon — shared result cache,
+shared compiled traces — instead of cold-starting a process per batch:
+
+    client = ServiceClient("http://127.0.0.1:8424")
+    accepted = client.submit({"workload": "em3d", "prefetcher": "bingo",
+                              "instructions": 20000, "warmup": 4000})
+    record = client.wait(accepted["id"], timeout=120)
+    print(record["summary"])
+
+All methods raise :class:`ServiceError` (carrying the HTTP status and
+the server's error body) on non-2xx responses, and plain ``OSError``
+when the daemon is unreachable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Union
+
+from repro.sim.executor import SimJob
+from repro.serve.jobs import job_to_wire
+
+#: states a poller can stop on
+_TERMINAL = ("done", "failed")
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str, body: Optional[dict] = None):
+        self.status = status
+        self.body = body or {}
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Blocking JSON client for one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, OSError):
+                body = {}
+            raise ServiceError(
+                exc.code, body.get("error", exc.reason), body
+            ) from None
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        job: Union[SimJob, Dict[str, Any]],
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit one job; returns ``{"id", "state", "deduped", ...}``."""
+        spec = job_to_wire(job) if isinstance(job, SimJob) else job
+        body = self._request(
+            "POST", "/jobs", {"job": spec, "priority": priority}
+        )
+        return body["jobs"][0]
+
+    def submit_many(
+        self,
+        jobs: List[Union[SimJob, Dict[str, Any]]],
+        priority: int = 0,
+    ) -> List[Dict[str, Any]]:
+        specs = [
+            job_to_wire(job) if isinstance(job, SimJob) else job
+            for job in jobs
+        ]
+        body = self._request(
+            "POST", "/jobs", {"jobs": specs, "priority": priority}
+        )
+        return body["jobs"]
+
+    # -- polling ------------------------------------------------------------
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.25,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the
+        final record.  Raises ``TimeoutError`` if it does not."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] in _TERMINAL:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    # -- introspection ------------------------------------------------------
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")

@@ -1,0 +1,78 @@
+"""Per-stage latency histograms on top of :class:`repro.common.stats`.
+
+The service measures two stages per job — queue wait (submit → first
+dispatch) and run time (dispatch → outcome) — and wants percentile-ish
+visibility without a metrics dependency.  A :class:`LatencyHistogram`
+stores fixed cumulative buckets *as ordinary counters inside a
+StatGroup child*, so the whole thing rides the existing observability
+machinery: ``StatGroup.snapshot()`` flattens it, ``GET /metrics`` dumps
+it, and tests assert on it like any other counter.
+
+Bucket scheme (Prometheus-style cumulative ``le_*`` + ``count`` +
+``sum``): a 0.3 s observation increments ``le_0_5`` and every wider
+bucket, so ``le_X / count`` reads directly as "fraction of jobs under
+X seconds".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.common.stats import StatGroup
+
+#: upper bounds (seconds) of the cumulative buckets; +inf is implicit in
+#: ``count``.  Spans cold compiles (minutes) down to cache hits (ms).
+DEFAULT_BUCKETS: Sequence[float] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0
+)
+
+
+def _label(bound: float) -> str:
+    """``0.5 -> "le_0_5"`` — dots would collide with StatGroup's
+    dotted-path flattening."""
+    text = f"{bound:g}".replace(".", "_")
+    return f"le_{text}"
+
+
+class LatencyHistogram:
+    """Cumulative fixed-bucket histogram living inside a StatGroup."""
+
+    def __init__(
+        self,
+        group: StatGroup,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self._bounds = tuple(buckets)
+        self._group = group.child(name)
+        # materialise every bucket at zero so snapshots are stable even
+        # before the first observation
+        self._cells = [
+            self._group.counter(_label(bound)) for bound in self._bounds
+        ]
+        self._count = self._group.counter("count")
+        self._sum = self._group.counter("sum_seconds")
+
+    def observe(self, seconds: float) -> None:
+        if not math.isfinite(seconds) or seconds < 0:
+            return
+        for bound, cell in zip(self._bounds, self._cells):
+            if seconds <= bound:
+                cell.value += 1
+        self._count.value += 1
+        self._sum.value += seconds
+
+    @property
+    def count(self) -> int:
+        return int(self._count.value)
+
+    @property
+    def mean(self) -> float:
+        return self._sum.value / self._count.value if self._count.value else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._group.counters())

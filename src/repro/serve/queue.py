@@ -1,0 +1,256 @@
+"""The service's job queue: priorities, in-flight dedup, persistence.
+
+One :class:`JobQueue` sits between the HTTP layer (producers) and the
+worker slots (consumers).  Three properties matter:
+
+* **priority scheduling** — higher ``priority`` pops first; ties pop in
+  submission order (a stable heap keyed by ``(-priority, seq)``);
+* **in-flight dedup** — submitting a job whose digest matches a record
+  that is still pending or running returns *that* record instead of a
+  new one, so N identical concurrent requests cost one simulation and
+  every requester polls the same id (completed digests are *not*
+  deduped here — the executor's on-disk result cache answers those in
+  microseconds, with its own hit counters);
+* **backoff gating** — a record re-queued with a delay (the
+  supervisor's retry path) is invisible to consumers until its
+  ``not_before`` instant, without blocking other ready work behind it.
+
+Persistence (:meth:`persist` / :meth:`restore`) covers the drain
+contract: SIGTERM writes every non-terminal record to one JSON file;
+the next daemon start re-queues them (running records restart from
+``pending`` — the simulation is pure, so a re-run is safe).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.serve.jobs import JobRecord, JobState
+
+#: bump when the persisted queue file layout changes
+QUEUE_SCHEMA = 1
+
+
+class JobQueue:
+    """Thread-safe priority queue of :class:`JobRecord`\\ s.
+
+    ``clock`` is injectable (monotonic seconds) so backoff gating is
+    testable without sleeping.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._seq = itertools.count()
+        #: (-priority, seq, record_id); lazily dropped when no longer pending
+        self._heap: List[Tuple[int, int, str]] = []
+        self._records: "Dict[str, JobRecord]" = {}
+        #: digest -> id of the in-flight record to dedup against
+        self._in_flight: Dict[str, str] = {}
+        self._closed = False
+
+    # -- producers ----------------------------------------------------------
+    def submit(self, record: JobRecord) -> Tuple[JobRecord, bool]:
+        """Enqueue ``record``, or dedup onto an in-flight equivalent.
+
+        Returns ``(record, deduped)``; when ``deduped`` is true the
+        returned record is the *existing* one and the argument was
+        discarded.
+        """
+        with self._ready:
+            if self._closed:
+                raise RuntimeError("queue is closed (service draining)")
+            existing_id = self._in_flight.get(record.digest)
+            if existing_id is not None:
+                existing = self._records[existing_id]
+                if existing.state.in_flight:
+                    return existing, True
+            self._records[record.id] = record
+            self._in_flight[record.digest] = record.id
+            record.state = JobState.PENDING
+            heapq.heappush(
+                self._heap, (-record.priority, next(self._seq), record.id)
+            )
+            self._ready.notify()
+            return record, False
+
+    def requeue(self, record: JobRecord, delay: float = 0.0) -> None:
+        """Put a record back (retry path); hidden for ``delay`` seconds."""
+        with self._ready:
+            record.state = JobState.PENDING
+            record.not_before = self._clock() + max(0.0, delay)
+            self._in_flight[record.digest] = record.id
+            heapq.heappush(
+                self._heap, (-record.priority, next(self._seq), record.id)
+            )
+            # wake even if gated: the consumer recomputes its wait
+            self._ready.notify()
+
+    # -- consumers ----------------------------------------------------------
+    def pop(self, timeout: Optional[float] = None) -> Optional[JobRecord]:
+        """The highest-priority *ready* pending record, else ``None``.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``) for a
+        record to become ready.  Backoff-gated records do not block
+        others: the scan prefers any ready record over a gated
+        higher-priority one, and sleeps only until the nearest
+        ``not_before`` otherwise.  Returns ``None`` on timeout or when
+        the queue is closed and nothing is ready — consumers treat that
+        as "check for shutdown, then come back".
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._ready:
+            while True:
+                record, nearest = self._scan_locked()
+                if record is not None:
+                    record.state = JobState.RUNNING
+                    record.attempts += 1
+                    return record
+                if self._closed:
+                    return None
+                now = self._clock()
+                waits = []
+                if deadline is not None:
+                    if now >= deadline:
+                        return None
+                    waits.append(deadline - now)
+                if nearest is not None:
+                    waits.append(max(0.0, nearest - now))
+                self._ready.wait(min(waits) if waits else None)
+
+    def _scan_locked(self) -> Tuple[Optional[JobRecord], Optional[float]]:
+        """Next ready record + the nearest gated ``not_before``, if any."""
+        now = self._clock()
+        deferred: List[Tuple[int, int, str]] = []
+        found: Optional[JobRecord] = None
+        nearest: Optional[float] = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            record = self._records.get(entry[2])
+            if record is None or record.state is not JobState.PENDING:
+                continue  # stale entry (deduped away, already popped, ...)
+            if record.not_before > now:
+                deferred.append(entry)
+                if nearest is None or record.not_before < nearest:
+                    nearest = record.not_before
+                continue
+            found = record
+            break
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        return found, nearest
+
+    # -- completion bookkeeping --------------------------------------------
+    def finish(self, record: JobRecord) -> None:
+        """Mark terminal state reached; clears the dedup slot."""
+        with self._ready:
+            if self._in_flight.get(record.digest) == record.id:
+                del self._in_flight[record.digest]
+            self._ready.notify_all()
+
+    # -- introspection ------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def records(self) -> List[JobRecord]:
+        """All records, newest submission first."""
+        with self._lock:
+            return sorted(
+                self._records.values(),
+                key=lambda r: r.submitted_at,
+                reverse=True,
+            )
+
+    def depth(self) -> int:
+        """Pending (not running, not terminal) record count."""
+        return self.state_counts().get("pending", 0)
+
+    def state_counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for record in self._records.values():
+                counts[record.state.value] = counts.get(record.state.value, 0) + 1
+            return counts
+
+    # -- shutdown -----------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting submissions and wake all blocked consumers."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- persistence --------------------------------------------------------
+    def persist(self, path: Union[str, Path]) -> int:
+        """Write every non-terminal record to ``path`` (atomic); returns
+        the count.  Running records are persisted too — if the drain
+        timed out on a wedged job, restarting it is the correct recovery
+        (results are pure functions of the spec)."""
+        with self._lock:
+            survivors = [
+                record.to_dict(include_result=False)
+                for record in self._records.values()
+                if not record.state.terminal
+            ]
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": QUEUE_SCHEMA, "jobs": survivors}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-queue-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return len(survivors)
+
+    def restore(self, path: Union[str, Path]) -> int:
+        """Re-queue records persisted by :meth:`persist`; returns the
+        count.  The file is consumed (deleted) so a crash loop cannot
+        double-submit.  A corrupt or schema-mismatched file restores
+        nothing — mirroring every other cache in this codebase, a torn
+        file is an empty file."""
+        path = Path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError:
+            return 0
+        except ValueError:
+            payload = None
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        if not isinstance(payload, dict) or payload.get("schema") != QUEUE_SCHEMA:
+            return 0
+        restored = 0
+        for data in payload.get("jobs", []):
+            try:
+                record = JobRecord.from_dict(data)
+            except (ValueError, KeyError, TypeError):
+                continue  # one bad record must not sink the rest
+            record.state = JobState.PENDING
+            record.not_before = 0.0
+            self.submit(record)
+            restored += 1
+        return restored

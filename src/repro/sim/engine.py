@@ -293,6 +293,16 @@ class SimulationEngine:
 
     # -- the full run -----------------------------------------------------------
     def run(self) -> SimResult:
+        # A sink built here from ``obs.trace_path`` is entered as a
+        # context manager: however the run ends — normally, by exception,
+        # or by KeyboardInterrupt — the trace file is flushed and closed,
+        # never left truncated at the OS buffer boundary.
+        if self._owns_sink:
+            with self.sink:
+                return self._run()
+        return self._run()
+
+    def _run(self) -> SimResult:
         params = self.params
         if self._fast_path_eligible():
             arenas = [
@@ -313,32 +323,28 @@ class SimulationEngine:
             def advance(budget: int) -> None:
                 self._run_until(streams, budget)
 
-        try:
-            if params.warmup_instructions:
-                advance(params.warmup_instructions)
-            snapshot = self.stats.snapshot()
-            core_marks = [(core.instructions, core.time) for core in self.cores]
+        if params.warmup_instructions:
+            advance(params.warmup_instructions)
+        snapshot = self.stats.snapshot()
+        core_marks = [(core.instructions, core.time) for core in self.cores]
 
-            advance(params.instructions_per_core)
-            self.hierarchy.finalize()
-            final = self.stats.snapshot()
+        advance(params.instructions_per_core)
+        self.hierarchy.finalize()
+        final = self.stats.snapshot()
 
-            recorder = self.timeline
-            if recorder is not None:
-                # Close the last (possibly partial) interval so the
-                # timeline's deltas sum to the whole-run totals.
-                if self._retired_total > recorder.last_instructions():
-                    recorder.sample(self._retired_total, self.cores)
-                timeline = list(recorder.samples)
-            else:
-                timeline = []
+        recorder = self.timeline
+        if recorder is not None:
+            # Close the last (possibly partial) interval so the
+            # timeline's deltas sum to the whole-run totals.
+            if self._retired_total > recorder.last_instructions():
+                recorder.sample(self._retired_total, self.cores)
+            timeline = list(recorder.samples)
+        else:
+            timeline = []
 
-            result = self._build_result(snapshot, final, core_marks)
-            result.timeline = timeline
-            return result
-        finally:
-            if self._owns_sink:
-                self.sink.close()
+        result = self._build_result(snapshot, final, core_marks)
+        result.timeline = timeline
+        return result
 
     # -- result assembly -----------------------------------------------------------
     def _delta(self, snapshot: Dict[str, float], final: Dict[str, float],

@@ -29,11 +29,15 @@ import multiprocessing
 import os
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
 from dataclasses import asdict, dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import SystemConfig
 from repro.common.stats import StatGroup
@@ -51,6 +55,84 @@ from repro.sim.results import SimResult
 CACHE_SCHEMA = 3
 
 KwargItems = Tuple[Tuple[str, object], ...]
+
+
+@dataclass
+class JobFailure:
+    """Typed per-job failure result.
+
+    Takes a :class:`SimResult`'s slot in a batch when the job could not
+    produce one.  ``kind`` is one of
+
+    * ``"worker-crash"`` — the worker process died mid-job (OOM kill,
+      segfault, ``os.kill``); the pool was respawned and the rest of the
+      batch completed.  Retryable: the crash may be environmental.
+    * ``"timeout"`` — the job exceeded its wall-clock budget and its
+      worker was killed (:meth:`Executor.run_job_guarded` only).
+    * ``"error"`` — the job raised an ordinary exception; deterministic,
+      so retrying the identical spec cannot help.
+    """
+
+    workload: str
+    prefetcher: str
+    kind: str
+    message: str
+    digest: str = ""
+
+    RETRYABLE_KINDS = ("worker-crash", "timeout")
+
+    @classmethod
+    def from_exception(cls, job: "SimJob", exc: BaseException) -> "JobFailure":
+        return cls(
+            workload=job.workload,
+            prefetcher=job.prefetcher,
+            kind="error",
+            message=f"{type(exc).__name__}: {exc}",
+            digest=job.digest(),
+        )
+
+    @classmethod
+    def crash(cls, job: "SimJob", message: str) -> "JobFailure":
+        return cls(
+            workload=job.workload,
+            prefetcher=job.prefetcher,
+            kind="worker-crash",
+            message=message,
+            digest=job.digest(),
+        )
+
+    @classmethod
+    def timeout(cls, job: "SimJob", seconds: float) -> "JobFailure":
+        return cls(
+            workload=job.workload,
+            prefetcher=job.prefetcher,
+            kind="timeout",
+            message=f"exceeded wall-clock budget of {seconds:g}s; worker killed",
+            digest=job.digest(),
+        )
+
+    @property
+    def retryable(self) -> bool:
+        return self.kind in self.RETRYABLE_KINDS
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class BatchFailure(RuntimeError):
+    """Raised by :meth:`Executor.run_jobs` (``return_failures=False``)
+    when jobs crashed their workers.  Unlike the raw
+    ``BrokenProcessPool`` it replaces, it is raised *after* the rest of
+    the batch completed (and was cached), and it names the jobs lost."""
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures = list(failures)
+        names = ", ".join(
+            f"{f.workload}/{f.prefetcher} ({f.kind})" for f in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} job(s) failed: {names}"
+        )
 
 
 def _canonical(value: object) -> object:
@@ -286,15 +368,24 @@ class ResultCache:
     def load(self, job: SimJob) -> Optional[SimResult]:
         path = self.path_for(job)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
-            return None
-        if entry.get("schema") != CACHE_SCHEMA or "result" not in entry:
-            return None
+            handle = open(path, "r", encoding="utf-8")
+        except OSError:
+            return None  # plain miss: no entry
+        # From here on the entry *exists*; anything unreadable about it is
+        # corruption (torn write, truncation, foreign bytes) and mirrors
+        # the trace cache's torn-file=miss policy: delete it so the next
+        # store starts clean, and report a miss instead of raising.
         try:
+            with handle:
+                entry = json.load(handle)
+            if entry.get("schema") != CACHE_SCHEMA or "result" not in entry:
+                raise ValueError("schema mismatch or missing result")
             return SimResult.from_dict(entry["result"])
-        except (TypeError, KeyError):
+        except (OSError, ValueError, TypeError, KeyError, EOFError):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
 
     def store(self, job: SimJob, result: SimResult) -> Path:
@@ -329,6 +420,38 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool's worker processes (timeout/interrupt path).
+
+    ``shutdown(cancel_futures=True)`` alone would *wait* for the running
+    job — exactly what a wall-clock kill or a Ctrl-C cleanup must not do.
+    Reaches into the pool's process table (no public API exists) and
+    SIGTERMs each worker; the subsequent ``shutdown(wait=True)`` then
+    reaps them immediately, so no orphans outlive the call.
+
+    The snapshot must happen *before* ``shutdown()``: even with
+    ``wait=False`` the executor drops its ``_processes`` reference as
+    part of shutdown, so reading it afterwards finds nothing to kill.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - cancel_futures is 3.9+
+        pool.shutdown(wait=False)
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+    for process in processes:
+        process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM blocked
+            try:
+                process.kill()
+            except (OSError, ValueError, AttributeError):
+                pass
+
+
 def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
     """Prefer ``fork`` (cheap, shares loaded modules), fall back to
     ``spawn``; ``None`` means the platform supports neither and the
@@ -351,7 +474,9 @@ class Executor:
 
     ``stats`` counters: ``jobs``, ``cache_hits``, ``cache_misses``,
     ``cache_skipped`` (uncacheable side-effecting jobs), ``executed``,
-    ``run_seconds`` (wall-clock of the execution phase), and — for
+    ``run_seconds`` (wall-clock of the execution phase), ``failures`` /
+    ``worker_crashes`` / ``timeouts`` (jobs that produced a
+    :class:`JobFailure` instead of a result), and — for
     in-process execution — ``trace_compile_hits``/``trace_compile_misses``
     from the compiled-trace cache (worker processes report theirs via
     the ``repro.sim.compile`` log instead; counters do not cross the
@@ -381,11 +506,24 @@ class Executor:
     def run_job(self, job: SimJob) -> SimResult:
         return self.run_jobs([job])[0]
 
-    def run_jobs(self, jobs: Sequence[SimJob]) -> List[SimResult]:
-        """Execute a batch; results are returned in input order."""
+    def run_jobs(
+        self, jobs: Sequence[SimJob], return_failures: bool = False
+    ) -> List[Union[SimResult, JobFailure]]:
+        """Execute a batch; results are returned in input order.
+
+        A worker process dying mid-job (OOM kill, segfault) does **not**
+        lose the batch: the affected job is isolated and reported as a
+        :class:`JobFailure`, the pool is respawned, and every other job
+        still completes (and is cached).  With ``return_failures=False``
+        (the default) such failures — and only such failures — are then
+        raised as one :class:`BatchFailure`; ordinary exceptions from a
+        job propagate unchanged.  With ``return_failures=True`` both
+        crashes and ordinary exceptions come back in-slot as typed
+        :class:`JobFailure` values (the service supervisor's retry path).
+        """
         jobs = list(jobs)
         self.stats.add("jobs", len(jobs))
-        results: List[Optional[SimResult]] = [None] * len(jobs)
+        results: List[Optional[Union[SimResult, JobFailure]]] = [None] * len(jobs)
 
         # Cache probe + intra-batch dedup: map each distinct digest to the
         # slots awaiting its result.
@@ -418,7 +556,7 @@ class Executor:
 
             compiles_before = compile_counters()
             start = time.perf_counter()
-            executed = self._execute(pending_jobs)
+            executed = self._execute(pending_jobs, collect=return_failures)
             self.stats.add("run_seconds", time.perf_counter() - start)
             self.stats.add("executed", len(pending_jobs))
             for counter, value in compile_counters().items():
@@ -426,17 +564,166 @@ class Executor:
                 if delta:
                     self.stats.add(counter, delta)
             for job, result in zip(pending_jobs, executed):
-                if self.cache is not None and job.cacheable and not self.check:
+                if isinstance(result, JobFailure):
+                    self.stats.add("failures")
+                elif self.cache is not None and job.cacheable and not self.check:
                     self.cache.store(job, result)
                 for index in pending[job.digest()]:
                     results[index] = result
+        if not return_failures:
+            failures = [r for r in results if isinstance(r, JobFailure)]
+            if failures:
+                raise BatchFailure(failures)
         return results  # type: ignore[return-value]
 
-    def _execute(self, jobs: List[SimJob]) -> List[SimResult]:
+    def run_job_guarded(
+        self, job: SimJob, timeout: Optional[float] = None
+    ) -> Union[SimResult, JobFailure]:
+        """Run one job under the full robustness envelope; never raises.
+
+        The job executes in a disposable single-process pool, so a crash
+        is unambiguously attributable and ``timeout`` (wall-clock
+        seconds) is enforceable: an overdue worker is killed, not just
+        abandoned, and the outcome is a typed :class:`JobFailure` of kind
+        ``"timeout"``.  The result cache is consulted and populated
+        exactly as in :meth:`run_jobs`.  This is the hook
+        :mod:`repro.serve` dispatches through — one call per queue slot,
+        each slot owning its own :class:`Executor` so counters need no
+        locks.  When the platform has no multiprocessing start method the
+        job runs in-process: crashes then take the whole process (nothing
+        to isolate) and the timeout cannot be enforced.
+        """
+        self.stats.add("jobs")
+        if self.cache is not None and not self.check and job.cacheable:
+            hit = self.cache.load(job)
+            if hit is not None:
+                self.stats.add("cache_hits")
+                return hit
+            self.stats.add("cache_misses")
+        elif self.cache is not None:
+            self.stats.add("cache_skipped")
+
+        runner = execute_job_checked if self.check else execute_job
+        context = _pool_context()
+        start = time.perf_counter()
+        try:
+            if context is None:  # pragma: no cover - platform dependent
+                try:
+                    result: Union[SimResult, JobFailure] = runner(job)
+                except Exception as exc:
+                    result = JobFailure.from_exception(job, exc)
+            else:
+                result = self._run_guarded_in_pool(runner, job, timeout, context)
+        finally:
+            self.stats.add("run_seconds", time.perf_counter() - start)
+        self.stats.add("executed")
+        if isinstance(result, JobFailure):
+            self.stats.add("failures")
+            if result.kind == "worker-crash":
+                self.stats.add("worker_crashes")
+            elif result.kind == "timeout":
+                self.stats.add("timeouts")
+        elif self.cache is not None and job.cacheable and not self.check:
+            self.cache.store(job, result)
+        return result
+
+    def _run_guarded_in_pool(
+        self, runner, job: SimJob, timeout: Optional[float], context
+    ) -> Union[SimResult, JobFailure]:
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+        try:
+            future = pool.submit(runner, job)
+            try:
+                return future.result(timeout)
+            except FutureTimeoutError:
+                _terminate_pool(pool)
+                return JobFailure.timeout(job, timeout or 0.0)
+            except BrokenExecutor as exc:
+                return JobFailure.crash(
+                    job, f"worker process died mid-job ({exc or 'no detail'})"
+                )
+            except Exception as exc:
+                return JobFailure.from_exception(job, exc)
+        except BaseException:
+            # KeyboardInterrupt/SystemExit: leave no orphaned workers or
+            # half-written cache entries behind (stores are atomic, and
+            # nothing reaches the cache from here).
+            _terminate_pool(pool)
+            raise
+        finally:
+            pool.shutdown(wait=True)
+
+    def _execute(
+        self, jobs: List[SimJob], collect: bool = False
+    ) -> List[Union[SimResult, JobFailure]]:
         runner = execute_job_checked if self.check else execute_job
         context = _pool_context() if self.workers > 1 else None
         if context is None or len(jobs) == 1:
-            return [runner(job) for job in jobs]
+            results: List[Union[SimResult, JobFailure]] = []
+            for job in jobs:
+                try:
+                    results.append(runner(job))
+                except Exception as exc:
+                    if not collect:
+                        raise
+                    results.append(JobFailure.from_exception(job, exc))
+            return results
+        return self._execute_pooled(runner, jobs, context, collect)
+
+    def _execute_pooled(
+        self, runner, jobs: List[SimJob], context, collect: bool
+    ) -> List[Union[SimResult, JobFailure]]:
+        """Pool fan-out with worker-crash isolation.
+
+        Round 1 runs the whole batch across ``self.workers`` processes.
+        If the pool breaks (a worker died), every *unfinished* job is a
+        suspect — the pool API cannot say which one was on the dying
+        worker — so suspects are replayed one per fresh single-process
+        pool: a replay that breaks *its* pool convicts exactly that job
+        (``JobFailure.crash``), and innocent bystanders complete.
+        Crashes are rare, so the serialised replay tail is a price paid
+        only on the broken path.
+        """
+        slots: List[Optional[Union[SimResult, JobFailure]]] = [None] * len(jobs)
+        suspects: List[int] = []
         workers = min(self.workers, len(jobs))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            return list(pool.map(runner, jobs))
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        try:
+            futures = [(i, pool.submit(runner, job)) for i, job in enumerate(jobs)]
+            for i, future in futures:
+                try:
+                    slots[i] = future.result()
+                except BrokenExecutor:
+                    suspects.append(i)
+                except Exception as exc:
+                    if not collect:
+                        raise
+                    slots[i] = JobFailure.from_exception(jobs[i], exc)
+        except BaseException:
+            _terminate_pool(pool)
+            raise
+        finally:
+            pool.shutdown(wait=True)
+
+        for i in suspects:
+            job = jobs[i]
+            replay_pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+            try:
+                future = replay_pool.submit(runner, job)
+                try:
+                    slots[i] = future.result()
+                except BrokenExecutor:
+                    self.stats.add("worker_crashes")
+                    slots[i] = JobFailure.crash(
+                        job, "worker process died mid-job; batch respawned"
+                    )
+                except Exception as exc:
+                    if not collect:
+                        raise
+                    slots[i] = JobFailure.from_exception(job, exc)
+            except BaseException:
+                _terminate_pool(replay_pool)
+                raise
+            finally:
+                replay_pool.shutdown(wait=True)
+        return slots  # type: ignore[return-value]

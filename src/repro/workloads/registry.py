@@ -48,6 +48,26 @@ def available_workloads() -> List[str]:
     return list(WORKLOAD_NAMES)
 
 
+def register_workload(
+    name: str, factory: Callable[[float], Workload], replace: bool = False
+) -> None:
+    """Make a custom workload resolvable by name.
+
+    Named resolution is what lets a workload travel inside a picklable
+    :class:`repro.sim.executor.SimJob` — across executor worker
+    processes and over the :mod:`repro.serve` HTTP boundary.  The name
+    is not added to Table II's ``WORKLOAD_NAMES`` listing; it only
+    becomes valid input to :func:`make_workload`.  Registrations are
+    per-process: a ``spawn``-context worker or a separately started
+    service daemon must perform the same registration (e.g. from an
+    imported plugin module) before it can run the job.
+    """
+    key = name.lower()
+    if not replace and key in _FACTORIES:
+        raise ValueError(f"workload {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
 def make_workload(name: str, seed: int = 1234, scale: float = 1.0) -> Workload:
     """Build a Table II workload by name.
 

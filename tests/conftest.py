@@ -52,3 +52,97 @@ def rng() -> random.Random:
 def tiny_system():
     """One-core scaled-down system for fast end-to-end tests."""
     return small_system(num_cores=1)
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection workloads (executor crash isolation + serve supervisor)
+# ---------------------------------------------------------------------------
+
+
+def _register_fault_workloads() -> None:
+    """Register single-core workloads that misbehave on purpose.
+
+    Registered in the *test* process; executor worker processes see them
+    because the pool prefers the ``fork`` start method (tests that rely
+    on them skip when fork is unavailable).  ``crash_once`` coordinates
+    through a sentinel file under ``$REPRO_FAULT_DIR`` so the first
+    attempt SIGKILLs its worker and every later attempt succeeds — the
+    shape of a transient OOM kill.
+    """
+    import signal
+    import time as _time
+
+    from repro.cpu.trace import TraceRecord
+    from repro.workloads.base import homogeneous
+    from repro.workloads.registry import register_workload
+
+    def _records(base: int):
+        addr = base
+        pc = 0x400000
+        while True:
+            yield TraceRecord.load(pc, addr)
+            addr += 64
+
+    def crash_once(scale: float = 1.0):
+        def stream(rng, core_id):
+            sentinel = os.path.join(
+                os.environ["REPRO_FAULT_DIR"], "crash-once"
+            )
+            if not os.path.exists(sentinel):
+                with open(sentinel, "w"):
+                    pass
+                os.kill(os.getpid(), signal.SIGKILL)
+            return _records(0x10000)
+
+        return homogeneous("crash_once", stream, num_cores=1)
+
+    def crash_always(scale: float = 1.0):
+        def stream(rng, core_id):
+            os.kill(os.getpid(), signal.SIGKILL)
+            return _records(0x10000)  # pragma: no cover - never reached
+
+        return homogeneous("crash_always", stream, num_cores=1)
+
+    def raise_always(scale: float = 1.0):
+        def stream(rng, core_id):
+            raise RuntimeError("deterministic workload bug")
+
+        return homogeneous("raise_always", stream, num_cores=1)
+
+    def sleep_forever(scale: float = 1.0):
+        def stream(rng, core_id):
+            def gen():
+                yield from _records(0x10000)
+
+            # sleep at stream construction: the engine blocks before the
+            # first record, so any wall-clock timeout fires deterministically
+            _time.sleep(600)
+            return gen()  # pragma: no cover - killed long before
+
+        return homogeneous("sleep_forever", stream, num_cores=1)
+
+    def slow_ok(scale: float = 1.0):
+        def stream(rng, core_id):
+            _time.sleep(0.4)
+            return _records(0x10000)
+
+        return homogeneous("slow_ok", stream, num_cores=1)
+
+    for factory in (crash_once, crash_always, raise_always,
+                    sleep_forever, slow_ok):
+        register_workload(factory.__name__, factory, replace=True)
+
+
+@pytest.fixture(scope="session")
+def fault_workloads() -> None:
+    """Ensure the misbehaving test workloads are registered."""
+    _register_fault_workloads()
+
+
+@pytest.fixture
+def fault_dir(tmp_path, monkeypatch, fault_workloads):
+    """A fresh sentinel directory for the ``crash_once`` workload."""
+    path = tmp_path / "faults"
+    path.mkdir()
+    monkeypatch.setenv("REPRO_FAULT_DIR", str(path))
+    return path

@@ -1,0 +1,188 @@
+"""HTTP plumbing: routes, status codes, and error bodies.
+
+These tests run the stdlib server on an ephemeral port against a
+service whose worker slots are *not* started — submission, listing and
+error paths need the queue, not simulations.  End-to-end behaviour
+(dedup, retries, drain) lives in ``test_service.py``.
+"""
+
+import dataclasses
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.common.config import small_system
+from repro.serve import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    SimulationService,
+    make_server,
+)
+
+
+def wire_spec(seed: int = 7, **overrides):
+    spec = {
+        "workload": "streaming",
+        "prefetcher": "none",
+        "instructions": 1500,
+        "warmup": 0,
+        "seed": seed,
+        "scale": 0.02,
+        "compile": False,
+        "system": dataclasses.asdict(small_system(num_cores=4)),
+    }
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def api():
+    """(service, client, host, port) with the HTTP server running."""
+    service = SimulationService(
+        ServiceConfig(workers=1, cache_dir=None, job_timeout=30.0)
+    )
+    server = make_server(service, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://{host}:{port}", timeout=5.0)
+    try:
+        yield service, client, host, port
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(5.0)
+
+
+def raw_post(host, port, path, body: bytes, content_length=None):
+    conn = http.client.HTTPConnection(host, port, timeout=5.0)
+    try:
+        length = len(body) if content_length is None else content_length
+        conn.putrequest("POST", path)
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(length))
+        conn.endheaders()
+        if body:
+            conn.send(body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+class TestRoutes:
+    def test_healthz(self, api):
+        _, client, _, _ = api
+        health = client.health()
+        assert health["ok"] is True
+        assert health["state"] == "running"
+        assert health["queue_depth"] == 0
+
+    def test_metrics_shape(self, api):
+        _, client, _, _ = api
+        metrics = client.metrics()
+        assert metrics["queue_depth"] == 0
+        assert metrics["in_flight"] == 0
+        assert "executor_totals" in metrics
+        assert "counters" in metrics
+
+    def test_unknown_route_404(self, api):
+        _, client, _, _ = api
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, api):
+        _, client, _, _ = api
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("does-not-exist")
+        assert excinfo.value.status == 404
+
+
+class TestSubmission:
+    def test_single_submit_accepted(self, api):
+        _, client, _, _ = api
+        accepted = client.submit(wire_spec())
+        assert accepted["state"] == "pending"
+        assert not accepted["deduped"]
+        record = client.status(accepted["id"])
+        assert record["state"] == "pending"
+        assert record["job"]["workload"] == "streaming"
+
+    def test_batch_submit(self, api):
+        _, client, _, _ = api
+        accepted = client.submit_many([wire_spec(seed=1), wire_spec(seed=2)])
+        assert len(accepted) == 2
+        assert accepted[0]["id"] != accepted[1]["id"]
+        assert len(client.jobs()) == 2
+
+    def test_duplicate_submit_dedups(self, api):
+        _, client, _, _ = api
+        first = client.submit(wire_spec(seed=9))
+        second = client.submit(wire_spec(seed=9))
+        assert second["id"] == first["id"]
+        assert second["deduped"] is True
+        assert len(client.jobs()) == 1
+
+    def test_priority_visible_on_record(self, api):
+        _, client, _, _ = api
+        accepted = client.submit(wire_spec(), priority=7)
+        assert client.status(accepted["id"])["priority"] == 7
+
+
+class TestBadRequests:
+    def test_bad_spec_400(self, api):
+        _, client, _, _ = api
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(wire_spec(bogus_knob=1))
+        assert excinfo.value.status == 400
+        assert "bogus_knob" in str(excinfo.value)
+
+    def test_trace_path_rejected_400(self, api):
+        _, client, _, _ = api
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(wire_spec(obs={"trace_path": "/tmp/x.jsonl"}))
+        assert excinfo.value.status == 400
+
+    def test_invalid_json_400(self, api):
+        _, _, host, port = api
+        status, body = raw_post(host, port, "/jobs", b"{nope")
+        assert status == 400
+        assert "JSON" in body["error"]
+
+    def test_empty_body_400(self, api):
+        _, _, host, port = api
+        status, _ = raw_post(host, port, "/jobs", b"")
+        assert status == 400
+
+    def test_missing_job_key_400(self, api):
+        _, _, host, port = api
+        status, body = raw_post(host, port, "/jobs", b"{}")
+        assert status == 400
+        assert "job" in body["error"]
+
+    def test_non_integer_priority_400(self, api):
+        _, _, host, port = api
+        payload = json.dumps(
+            {"job": wire_spec(), "priority": "high"}
+        ).encode()
+        status, _ = raw_post(host, port, "/jobs", payload)
+        assert status == 400
+
+    def test_post_to_unknown_route_404(self, api):
+        _, _, host, port = api
+        status, _ = raw_post(host, port, "/nope", b"{}")
+        assert status == 404
+
+
+class TestDraining:
+    def test_submit_while_draining_503(self, api):
+        service, client, _, _ = api
+        service.drain(timeout=1.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(wire_spec())
+        assert excinfo.value.status == 503
+        assert client.health()["state"] == "draining"

@@ -1,0 +1,72 @@
+"""Latency histograms riding the StatGroup counter tree."""
+
+import pytest
+
+from repro.common.stats import StatGroup
+from repro.serve.metrics import DEFAULT_BUCKETS, LatencyHistogram, _label
+
+
+class TestLabel:
+    def test_dots_become_underscores(self):
+        assert _label(0.5) == "le_0_5"
+        assert _label(5.0) == "le_5"
+        assert _label(0.01) == "le_0_01"
+
+
+class TestLatencyHistogram:
+    def test_observation_fills_cumulative_buckets(self):
+        group = StatGroup("serve")
+        hist = LatencyHistogram(group, "run", buckets=(0.1, 1.0, 10.0))
+        hist.observe(0.3)
+        data = hist.as_dict()
+        assert data["le_0_1"] == 0
+        assert data["le_1"] == 1
+        assert data["le_10"] == 1
+        assert data["count"] == 1
+        assert data["sum_seconds"] == pytest.approx(0.3)
+
+    def test_observation_above_all_buckets_only_counts(self):
+        hist = LatencyHistogram(StatGroup("s"), "run", buckets=(0.1, 1.0))
+        hist.observe(5.0)
+        data = hist.as_dict()
+        assert data["le_0_1"] == 0 and data["le_1"] == 0
+        assert data["count"] == 1
+
+    def test_mean_and_count(self):
+        hist = LatencyHistogram(StatGroup("s"), "run")
+        assert hist.mean == 0.0
+        hist.observe(1.0)
+        hist.observe(3.0)
+        assert hist.count == 2
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_rejects_nonsense_observations(self):
+        hist = LatencyHistogram(StatGroup("s"), "run")
+        hist.observe(-1.0)
+        hist.observe(float("nan"))
+        hist.observe(float("inf"))
+        assert hist.count == 0
+
+    def test_buckets_visible_in_group_snapshot(self):
+        group = StatGroup("serve")
+        hist = LatencyHistogram(group, "queue_wait", buckets=(1.0,))
+        hist.observe(0.5)
+        snapshot = group.snapshot()
+        assert snapshot["serve.queue_wait.le_1"] == 1
+        assert snapshot["serve.queue_wait.count"] == 1
+
+    def test_buckets_materialised_before_first_observation(self):
+        group = StatGroup("serve")
+        LatencyHistogram(group, "run", buckets=(1.0, 2.0))
+        snapshot = group.snapshot()
+        assert snapshot["serve.run.le_1"] == 0
+        assert snapshot["serve.run.le_2"] == 0
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(StatGroup("s"), "run", buckets=())
+        with pytest.raises(ValueError):
+            LatencyHistogram(StatGroup("s"), "run", buckets=(2.0, 1.0))

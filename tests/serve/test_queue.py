@@ -1,0 +1,210 @@
+"""JobQueue: priority order, in-flight dedup, backoff gating, persistence."""
+
+import pytest
+
+from repro.common.config import small_system
+from repro.sim.executor import SimJob
+from repro.serve.jobs import JobRecord, JobState
+from repro.serve.queue import JobQueue
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_job(seed: int = 1, workload: str = "streaming") -> SimJob:
+    return SimJob.build(
+        workload,
+        prefetcher="none",
+        system=small_system(num_cores=4),
+        instructions_per_core=1000,
+        warmup_instructions=0,
+        seed=seed,
+        compile=False,
+    )
+
+
+def record(seed: int = 1, priority: int = 0) -> JobRecord:
+    return JobRecord(job=make_job(seed), priority=priority)
+
+
+class TestPriorityOrder:
+    def test_higher_priority_pops_first(self):
+        queue = JobQueue()
+        low, _ = queue.submit(record(seed=1, priority=0))
+        high, _ = queue.submit(record(seed=2, priority=10))
+        assert queue.pop(timeout=0) is high
+        assert queue.pop(timeout=0) is low
+
+    def test_ties_pop_in_submission_order(self):
+        queue = JobQueue()
+        first, _ = queue.submit(record(seed=1))
+        second, _ = queue.submit(record(seed=2))
+        assert queue.pop(timeout=0) is first
+        assert queue.pop(timeout=0) is second
+
+    def test_pop_marks_running_and_counts_attempt(self):
+        queue = JobQueue()
+        queue.submit(record())
+        popped = queue.pop(timeout=0)
+        assert popped.state is JobState.RUNNING
+        assert popped.attempts == 1
+
+    def test_pop_empty_times_out(self):
+        assert JobQueue().pop(timeout=0) is None
+
+
+class TestDedup:
+    def test_identical_digest_dedups_onto_existing(self):
+        queue = JobQueue()
+        original, deduped = queue.submit(record(seed=5))
+        assert not deduped
+        twin, deduped = queue.submit(record(seed=5))
+        assert deduped
+        assert twin is original
+        assert queue.pop(timeout=0) is original
+        assert queue.pop(timeout=0) is None
+
+    def test_running_jobs_still_dedup(self):
+        queue = JobQueue()
+        original, _ = queue.submit(record(seed=5))
+        assert queue.pop(timeout=0) is original  # now RUNNING
+        twin, deduped = queue.submit(record(seed=5))
+        assert deduped and twin is original
+
+    def test_finished_jobs_do_not_dedup(self):
+        queue = JobQueue()
+        original, _ = queue.submit(record(seed=5))
+        popped = queue.pop(timeout=0)
+        popped.state = JobState.DONE
+        queue.finish(popped)
+        fresh, deduped = queue.submit(record(seed=5))
+        assert not deduped
+        assert fresh is not original
+
+    def test_different_digests_never_dedup(self):
+        queue = JobQueue()
+        _, first_dedup = queue.submit(record(seed=1))
+        _, second_dedup = queue.submit(record(seed=2))
+        assert not first_dedup and not second_dedup
+        assert queue.depth() == 2
+
+
+class TestBackoffGating:
+    def test_gated_record_is_invisible_until_not_before(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        rec, _ = queue.submit(record(seed=1))
+        assert queue.pop(timeout=0) is rec
+        queue.requeue(rec, delay=5.0)
+        assert queue.pop(timeout=0) is None
+        clock.advance(5.1)
+        assert queue.pop(timeout=0) is rec
+        assert rec.attempts == 2
+
+    def test_gated_record_does_not_block_ready_work(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        urgent, _ = queue.submit(record(seed=1, priority=100))
+        assert queue.pop(timeout=0) is urgent
+        queue.requeue(urgent, delay=60.0)  # high priority but gated
+        ready, _ = queue.submit(record(seed=2, priority=0))
+        assert queue.pop(timeout=0) is ready
+
+    def test_requeue_restores_dedup_slot(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        rec, _ = queue.submit(record(seed=1))
+        queue.pop(timeout=0)
+        queue.requeue(rec, delay=30.0)
+        twin, deduped = queue.submit(record(seed=1))
+        assert deduped and twin is rec
+
+
+class TestClose:
+    def test_submit_after_close_raises(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(RuntimeError, match="clos"):
+            queue.submit(record())
+
+    def test_pop_after_close_returns_none_without_blocking(self):
+        queue = JobQueue()
+        queue.close()
+        assert queue.pop(timeout=None) is None
+
+    def test_ready_records_still_pop_after_close(self):
+        queue = JobQueue()
+        rec, _ = queue.submit(record())
+        queue.close()
+        assert queue.pop(timeout=0) is rec
+
+
+class TestPersistence:
+    def test_persist_restore_round_trip(self, tmp_path):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        pending, _ = queue.submit(record(seed=1, priority=3))
+        running, _ = queue.submit(record(seed=2))
+        done, _ = queue.submit(record(seed=3))
+
+        popped = queue.pop(timeout=0)  # seed=1 (priority 3) -> running
+        assert popped is pending
+        done_popped = None
+        while done_popped is not done:
+            done_popped = queue.pop(timeout=0)
+            done_popped.state = (
+                JobState.DONE if done_popped is done else JobState.RUNNING
+            )
+        queue.finish(done)
+
+        path = tmp_path / "queue.json"
+        count = queue.persist(path)
+        assert count == 2  # running x2 persisted, done dropped
+
+        fresh = JobQueue()
+        assert fresh.restore(path) == 2
+        assert not path.exists(), "restore must consume the file"
+        states = fresh.state_counts()
+        assert states == {"pending": 2}
+        first = fresh.pop(timeout=0)
+        assert first.priority == 3, "priority survives the round trip"
+        assert first.digest == pending.digest
+        assert first.id == pending.id
+
+    def test_restore_missing_file_is_empty(self, tmp_path):
+        assert JobQueue().restore(tmp_path / "nope.json") == 0
+
+    def test_restore_corrupt_file_is_empty(self, tmp_path):
+        path = tmp_path / "queue.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert JobQueue().restore(path) == 0
+        assert not path.exists()
+
+    def test_restore_schema_mismatch_is_empty(self, tmp_path):
+        import json
+
+        path = tmp_path / "queue.json"
+        path.write_text(
+            json.dumps({"schema": 999, "jobs": []}), encoding="utf-8"
+        )
+        assert JobQueue().restore(path) == 0
+
+    def test_one_bad_record_does_not_sink_the_rest(self, tmp_path):
+        import json
+
+        queue = JobQueue()
+        queue.submit(record(seed=1))
+        path = tmp_path / "queue.json"
+        queue.persist(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["jobs"].append({"id": "broken", "job": {"nope": 1}})
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert JobQueue().restore(path) == 1
