@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-report experiments serve-smoke clean
+.PHONY: install test bench bench-quick bench-report bench-vector experiments serve-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -20,6 +20,12 @@ bench:
 # the full engine-speed matrix -> BENCH_engine.json (docs/performance.md)
 bench-report:
 	$(PYTHON) benchmarks/bench_engine_speed.py --workers 4
+
+# vectorized-tier focus: prove the three tiers agree, then run the
+# pytest-sized matrix and print the tier-engagement counters
+bench-vector:
+	$(PYTHON) -m pytest benchmarks/bench_engine_speed.py::test_compiled_path_matches_generator -q
+	$(PYTHON) -m pytest benchmarks/bench_engine_speed.py::test_engine_speed --benchmark-only -s
 
 bench-quick:
 	REPRO_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

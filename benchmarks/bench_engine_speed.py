@@ -7,13 +7,21 @@ rather than a claim.  Measurements over a Fig. 8-style
 * **serial** — every point through the in-process generator path;
 * **compiled** — the same serial matrix replayed from packed compiled
   traces (cold trace cache: the first point of each workload pays the
-  compile, the rest ``mmap`` the arena);
-* **parallel** — the compiled matrix through ``Executor(workers=N)``;
+  compile, the rest ``mmap`` the arena), scalar loop only;
+* **vectorized** — the compiled matrix again with the NumPy
+  batch-replay tier enabled (warm trace cache), plus the tier's
+  engagement/demotion counts — miss-dense points demote to the scalar
+  loop by design, so this pass measures the tier's *policy*, not just
+  its kernels;
+* **parallel** — the vectorized matrix through ``Executor(workers=N)``
+  (``effective_workers`` records what the host can actually run;
+  ``oversubscribed`` flags worker counts beyond ``cpu_count``, where
+  the speedup is time-slicing, not parallelism);
 * **cached** — the same matrix again, answered by the on-disk result
   cache;
 
 plus the serial inner-loop rate (simulated instructions/sec and ns per
-memory access, generator vs compiled fast path).  Every full run also
+memory access, generator vs compiled fast path vs vectorized tier).  Every full run also
 writes the report — with git SHA and timestamp — to
 ``BENCH_engine.json`` at the repo root, so the perf trajectory is
 recorded run over run.  Run as a script for the full report::
@@ -45,6 +53,7 @@ from repro.experiments.common import (
     default_params,
     experiment_system,
 )
+from repro.sim.engine import engine_tier_counters
 from repro.sim.executor import Executor, ResultCache, SimJob, execute_job
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -89,20 +98,38 @@ def _timed(executor: Executor, jobs: List[SimJob]) -> float:
 def measure_matrix(
     jobs: List[SimJob], workers: int, cache_dir: str
 ) -> Dict[str, float]:
-    """Generator vs compiled vs parallel vs cache-hit wall-clock.
+    """Generator vs compiled vs vectorized vs parallel vs cache-hit.
 
-    ``jobs`` must be compiled-path jobs; the generator-path baseline is
-    derived from them with ``compile=False``.  The trace cache under
+    ``jobs`` are vectorized compiled-path jobs (the default execution
+    configuration); the scalar passes are derived from them with
+    ``vectorized=False`` / ``compile=False``.  The trace cache under
     ``$REPRO_CACHE_DIR`` starts cold for the compiled pass, so the
     reported compiled time includes one trace compile per workload —
-    the real cost profile of a fresh sweep.
+    the real cost profile of a fresh sweep; the vectorized pass then
+    replays the warmed arenas, isolating the tier's own cost.
+
+    ``parallel_speedup`` is wall-clock over the *serial generator*
+    matrix, whatever the host — on an oversubscribed box (more workers
+    than CPUs, flagged by ``oversubscribed``) the gain beyond
+    ``effective_workers`` comes from time-slicing worker processes
+    during each other's interpreter overhead, not from parallel
+    compute, so it must not be read as per-core scaling.
     """
     from dataclasses import replace
 
-    generator_jobs = [replace(job, compile=False) for job in jobs]
+    cpu_count = os.cpu_count() or 1
+    generator_jobs = [
+        replace(job, compile=False, vectorized=False) for job in jobs
+    ]
+    scalar_jobs = [replace(job, vectorized=False) for job in jobs]
     serial_s = _timed(Executor(workers=1), generator_jobs)
     compiled_executor = Executor(workers=1)
-    compiled_s = _timed(compiled_executor, jobs)
+    compiled_s = _timed(compiled_executor, scalar_jobs)
+    tiers_before = engine_tier_counters()
+    vectorized_s = _timed(Executor(workers=1), jobs)
+    tiers_after = engine_tier_counters()
+    vector_runs = tiers_after["vectorized"] - tiers_before["vectorized"]
+    vector_demotions = tiers_after["demoted"] - tiers_before["demoted"]
     cache = ResultCache(cache_dir)
     parallel_s = _timed(Executor(workers=workers, cache=cache), jobs)
     cached_executor = Executor(workers=workers, cache=cache)
@@ -111,17 +138,29 @@ def measure_matrix(
     return {
         "points": len(jobs),
         "workers": workers,
+        "effective_workers": min(workers, cpu_count),
+        "oversubscribed": workers > cpu_count,
         "serial_s": round(serial_s, 3),
         "compiled_s": round(compiled_s, 3),
+        "vectorized_s": round(vectorized_s, 3),
         "parallel_s": round(parallel_s, 3),
         "cached_s": round(cached_s, 3),
         "serial_points_per_s": round(len(jobs) / serial_s, 3),
         "compiled_points_per_s": round(len(jobs) / compiled_s, 3),
+        "vectorized_points_per_s": round(len(jobs) / vectorized_s, 3),
         "parallel_points_per_s": round(len(jobs) / parallel_s, 3),
         "cached_points_per_s": round(len(jobs) / cached_s, 3),
         "compiled_speedup": round(serial_s / compiled_s, 2),
+        "vectorized_speedup": round(serial_s / vectorized_s, 2),
         "parallel_speedup": round(serial_s / parallel_s, 2),
         "cached_speedup": round(serial_s / cached_s, 2),
+        # engine-tier engagement over the vectorized pass: every point
+        # selects the vector tier; miss-dense ones demote mid-run
+        "vector_tier_runs": vector_runs,
+        "vector_tier_demotions": vector_demotions,
+        "vector_tier_stayed_rate": round(
+            (vector_runs - vector_demotions) / max(1, vector_runs), 3
+        ),
         "trace_compile_hits": int(
             compiled_executor.stats.get("trace_compile_hits")
         ),
@@ -134,15 +173,17 @@ def measure_matrix(
 def measure_inner_loop(
     instructions: int = 60_000, warmup: int = 20_000
 ) -> Dict[str, float]:
-    """Serial inner-loop rate, generator path vs compiled fast path.
+    """Serial inner-loop rate: generator vs compiled vs vectorized.
 
     The compiled job runs twice: the cold pass pays the one-time trace
     compile (reported as ``trace_compile_s``), the warm pass — the
     steady state of every sweep after its first point — is what the
-    ``compiled_*`` rates and ``fastpath_speedup`` describe.
+    ``compiled_*`` rates and ``fastpath_speedup`` describe.  The
+    vectorized pass replays the same warm arena through the batch
+    tier (streaming/bingo is hit-dominated, so it never demotes).
     """
 
-    def job(compile_: bool) -> SimJob:
+    def job(compile_: bool, vectorized: bool = False) -> SimJob:
         return SimJob.build(
             "streaming",
             prefetcher="bingo",
@@ -151,6 +192,7 @@ def measure_inner_loop(
             warmup_instructions=warmup,
             scale=EXPERIMENT_SCALE,
             compile=compile_,
+            vectorized=vectorized,
         )
 
     start = time.perf_counter()
@@ -164,6 +206,12 @@ def measure_inner_loop(
     compiled_s = time.perf_counter() - start
     assert compiled_result.to_dict() == result.to_dict(), (
         "compiled path diverged from the generator path"
+    )
+    start = time.perf_counter()
+    vector_result = execute_job(job(True, vectorized=True))
+    vectorized_s = time.perf_counter() - start
+    assert vector_result.to_dict() == result.to_dict(), (
+        "vectorized path diverged from the generator path"
     )
 
     raw = result.raw_stats["memsys"]
@@ -184,8 +232,17 @@ def measure_inner_loop(
             compiled_s / total_instructions * 1e9, 1
         ),
         "compiled_ns_per_access": round(compiled_s / accesses * 1e9, 1),
+        "vectorized_elapsed_s": round(vectorized_s, 3),
+        "vectorized_instructions_per_s": round(
+            total_instructions / vectorized_s
+        ),
+        "vectorized_ns_per_instruction": round(
+            vectorized_s / total_instructions * 1e9, 1
+        ),
+        "vectorized_ns_per_access": round(vectorized_s / accesses * 1e9, 1),
         "trace_compile_s": round(compiled_cold_s - compiled_s, 3),
         "fastpath_speedup": round(generator_s / compiled_s, 2),
+        "vectorized_inner_speedup": round(generator_s / vectorized_s, 2),
     }
 
 
@@ -284,10 +341,16 @@ def test_compiled_path_matches_generator(tmp_path, monkeypatch):
         warmup=1000,
     )
     for job in jobs:
-        compiled = execute_job(job)
-        generator = execute_job(replace(job, compile=False))
+        vectorized = execute_job(job)
+        compiled = execute_job(replace(job, vectorized=False))
+        generator = execute_job(
+            replace(job, compile=False, vectorized=False)
+        )
         assert compiled.to_dict() == generator.to_dict(), (
             f"compiled path diverged on {job.workload}/{job.prefetcher}"
+        )
+        assert vectorized.to_dict() == compiled.to_dict(), (
+            f"vectorized path diverged on {job.workload}/{job.prefetcher}"
         )
 
 

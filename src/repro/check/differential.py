@@ -505,6 +505,7 @@ def run_check(
     scale: float = 0.02,
     system=None,
     compile: bool = False,
+    vectorized: bool = False,
 ) -> CheckReport:
     """Run one small configuration with the full harness attached.
 
@@ -518,12 +519,23 @@ def run_check(
     (:mod:`repro.sim.compile`) instead of the live generators — the full
     differential harness then vouches for the compiled stream end to
     end (``bingo-sim check --compiled``).
+
+    ``vectorized=True`` (implies ``compile``) additionally runs the same
+    configuration through the NumPy batch-replay tier and diffs its
+    ``SimResult`` field for field against the scalar compiled run the
+    harness just vouched for; any mismatch is reported as a
+    ``vector-replay`` divergence.  The tier cannot host the event-level
+    harness directly (it replays L1 hits without emitting events), so
+    the result-level diff against the harnessed reference is exactly
+    the guarantee the tier claims: byte-identical ``SimResult`` objects.
     """
     from repro.common.config import small_system
     from repro.obs.sinks import TeeSink
     from repro.sim.engine import SimulationEngine, SimulationParams
     from repro.workloads.registry import make_workload
 
+    if vectorized:
+        compile = True
     if system is None:
         system = small_system(num_cores=num_cores)
     workload_obj = make_workload(workload, seed=seed, scale=scale)
@@ -590,13 +602,42 @@ def run_check(
         hierarchy.access = real_access
     checker.finish()
     error = invariants.finalize()
+    vector_divergences = []
+    if vectorized:
+        params = SimulationParams(
+            instructions_per_core=instructions_per_core,
+            warmup_instructions=warmup_instructions,
+        )
+        scalar = SimulationEngine(
+            workload=workload_obj, prefetcher=prefetcher, system=system,
+            params=params, vectorized=False,
+        ).run()
+        vector = SimulationEngine(
+            workload=workload_obj, prefetcher=prefetcher, system=system,
+            params=params, vectorized=True,
+        ).run()
+        sd, vd = scalar.to_dict(), vector.to_dict()
+        if sd != vd:
+            keys = sorted(
+                key for key in set(sd) | set(vd) if sd.get(key) != vd.get(key)
+            )
+            vector_divergences.append(
+                Divergence(
+                    kind="vector-replay",
+                    detail=(
+                        "vectorized SimResult differs from the scalar "
+                        f"compiled run in fields: {', '.join(keys)}"
+                    ),
+                    event_index=-1,
+                )
+            )
     return CheckReport(
         workload=workload,
         prefetcher=prefetcher,
         accesses=state["accesses"],
         events=checker._events,
         l1_divergences=state["l1_divergences"],
-        divergences=checker.divergences,
+        divergences=checker.divergences + vector_divergences,
         violations=list(error.violations) if error else [],
         explained=dict(checker.explained),
     )

@@ -98,6 +98,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="replay the live workload generators instead "
                             "of a packed compiled trace (results are "
                             "identical; see docs/performance.md)")
+    run_p.add_argument("--no-vectorized", action="store_true",
+                       help="disable the NumPy batch-replay engine tier "
+                            "(results are identical; see "
+                            "docs/performance.md)")
 
     cmp_p = sub.add_parser("compare", help="compare prefetchers on a workload")
     cmp_p.add_argument("--workload", "-w", required=True)
@@ -140,6 +144,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "of a shared packed compiled trace (the "
                               "compiled-trace cache lives next to the "
                               "result cache under $REPRO_CACHE_DIR)")
+    sweep_p.add_argument("--no-vectorized", action="store_true",
+                         help="disable the NumPy batch-replay engine tier "
+                              "for every sweep point")
 
     check_p = sub.add_parser(
         "check",
@@ -163,6 +170,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="check the *compiled-trace* replay path: "
                               "the differential harness consumes packed "
                               "traces instead of live generators")
+    check_p.add_argument("--vectorized", action="store_true",
+                         help="check the NumPy batch-replay tier: the "
+                              "simulated run replays vectorized (implies "
+                              "--compiled) and must still match the "
+                              "reference models event for event")
 
     from repro.serve.api import DEFAULT_PORT
 
@@ -260,6 +272,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         scale=EXPERIMENT_SCALE,
         compile=not args.no_compile,
+        vectorized=not args.no_vectorized,
     )
 
     def simulate():
@@ -371,6 +384,7 @@ def _cmd_sweep(args) -> int:
         scale=EXPERIMENT_SCALE,
         executor=executor,
         compile=not args.no_compile,
+        vectorized=not args.no_vectorized,
     )
     rows = []
     for value, result in results.items():
@@ -421,7 +435,8 @@ def _cmd_check(args) -> int:
                 warmup_instructions=args.warmup,
                 seed=args.seed,
                 scale=args.scale,
-                compile=args.compiled,
+                compile=args.compiled or args.vectorized,
+                vectorized=args.vectorized,
             )
             print(report.summary())
             if not report.ok:

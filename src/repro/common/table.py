@@ -65,20 +65,38 @@ class SetAssociativeTable(Generic[P]):
         self._policies: List[ReplacementPolicy] = [
             make_policy(policy, ways) for _ in range(sets)
         ]
+        # Location index over the valid entries: (set, tag) -> way.  The
+        # tables sit on the simulator's miss path (every LLC eviction
+        # probes Bingo's filter *and* accumulation tables per core), so
+        # lookups must not pay a linear way scan.  Keyed by set as well
+        # as tag because split index/tag schemes (the history table) can
+        # legally hold the same tag in several sets.
+        self._where: dict = {}
+        # fold() walks the 64-bit hash in index_bits-wide steps — ~20
+        # Python-loop iterations for a small table.  Keys recur heavily
+        # (spatial locality), so memoise the fold per table.
+        self._fold_memo: dict = {}
 
     # -- geometry -------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(
-            1 for ways in self._entries for entry in ways if entry is not None
-        )
+        return len(self._where)
 
     @property
     def capacity(self) -> int:
         return self.sets * self.ways
 
     def set_index(self, key: int) -> int:
-        """Default set index: hash-fold of the key."""
-        return fold(key, self.index_bits) if self.index_bits else 0
+        """Default set index: hash-fold of the key (memoised)."""
+        if not self.index_bits:
+            return 0
+        memo = self._fold_memo
+        idx = memo.get(key)
+        if idx is None:
+            idx = fold(key, self.index_bits)
+            if len(memo) >= 1 << 20:  # bound the memo on huge key spaces
+                memo.clear()
+            memo[key] = idx
+        return idx
 
     # -- lookups ---------------------------------------------------------------
     def lookup(
@@ -90,13 +108,12 @@ class SetAssociativeTable(Generic[P]):
         ``touch`` controls whether the hit updates recency.
         """
         set_idx = self.set_index(key) if index is None else index
-        ways = self._entries[set_idx]
-        for way, entry in enumerate(ways):
-            if entry is not None and entry.tag == key:
-                if touch:
-                    self._policies[set_idx].touch(way)
-                return entry.payload
-        return None
+        way = self._where.get((set_idx, key))
+        if way is None:
+            return None
+        if touch:
+            self._policies[set_idx].touch(way)
+        return self._entries[set_idx][way].payload
 
     def scan_set(self, index: int) -> List[Tuple[int, int, P]]:
         """All valid entries of a set as ``(way, tag, payload)`` tuples.
@@ -129,16 +146,20 @@ class SetAssociativeTable(Generic[P]):
         set_idx = self.set_index(key) if index is None else index
         ways = self._entries[set_idx]
         policy = self._policies[set_idx]
-        for way, entry in enumerate(ways):
-            if entry is not None and entry.tag == key:
-                entry.payload = payload
-                policy.touch(way)
-                return
+        where = self._where
+        hit = where.get((set_idx, key))
+        if hit is not None:
+            ways[hit].payload = payload
+            policy.touch(hit)
+            return
         way = policy.victim()
         old = ways[way]
-        if old is not None and self.on_evict is not None:
-            self.on_evict(old.tag, old.payload)
+        if old is not None:
+            del where[(set_idx, old.tag)]
+            if self.on_evict is not None:
+                self.on_evict(old.tag, old.payload)
         ways[way] = Entry(key, payload)
+        where[(set_idx, key)] = way
         policy.insert(way)
 
     def invalidate(self, key: int, index: Optional[int] = None) -> Optional[P]:
@@ -148,26 +169,28 @@ class SetAssociativeTable(Generic[P]):
         owners use it to commit in-flight state.
         """
         set_idx = self.set_index(key) if index is None else index
+        way = self._where.pop((set_idx, key), None)
+        if way is None:
+            return None
         ways = self._entries[set_idx]
-        for way, entry in enumerate(ways):
-            if entry is not None and entry.tag == key:
-                ways[way] = None
-                self._policies[set_idx].invalidate(way)
-                if self.on_evict is not None:
-                    self.on_evict(entry.tag, entry.payload)
-                return entry.payload
-        return None
+        entry = ways[way]
+        ways[way] = None
+        self._policies[set_idx].invalidate(way)
+        if self.on_evict is not None:
+            self.on_evict(entry.tag, entry.payload)
+        return entry.payload
 
     def pop(self, key: int, index: Optional[int] = None) -> Optional[P]:
         """Remove the entry tagged ``key`` *without* firing ``on_evict``."""
         set_idx = self.set_index(key) if index is None else index
+        way = self._where.pop((set_idx, key), None)
+        if way is None:
+            return None
         ways = self._entries[set_idx]
-        for way, entry in enumerate(ways):
-            if entry is not None and entry.tag == key:
-                ways[way] = None
-                self._policies[set_idx].invalidate(way)
-                return entry.payload
-        return None
+        entry = ways[way]
+        ways[way] = None
+        self._policies[set_idx].invalidate(way)
+        return entry.payload
 
     def items(self) -> List[Tuple[int, P]]:
         """All valid ``(tag, payload)`` pairs, set-major order."""
@@ -185,3 +208,4 @@ class SetAssociativeTable(Generic[P]):
                 if self._entries[set_idx][way] is not None:
                     self._entries[set_idx][way] = None
                     self._policies[set_idx].invalidate(way)
+        self._where.clear()

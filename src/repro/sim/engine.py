@@ -37,6 +37,25 @@ from repro.sim.results import CoreResult, SimResult
 #: so entries produced by an older fast path are never served.
 FASTPATH_VERSION = 1
 
+#: Version of the vectorized batch-replay tier (``repro.sim.vector``).
+#: Bump on any change to its kernels or barrier handling; the executor
+#: folds it into result-cache digests alongside ``FASTPATH_VERSION``.
+#: Defined here (not in the vector package) so digests can be computed
+#: on numpy-free installs, where the tier merely never engages.
+VECTOR_VERSION = 1
+
+#: Process-local counts of which engine tier each ``run()`` selected.
+#: ``demoted`` counts vectorized runs that handed off to the compiled
+#: loop mid-run (miss-dense trace; see ``VectorReplay``).  Diagnostics
+#: only — deliberately *not* routed into ``SimResult`` or
+#: ``raw_stats``, which must stay byte-identical across tiers.
+_TIER_RUNS = {"vectorized": 0, "compiled": 0, "general": 0, "demoted": 0}
+
+
+def engine_tier_counters() -> Dict[str, int]:
+    """Snapshot of per-tier run counts (this process only)."""
+    return dict(_TIER_RUNS)
+
 
 @dataclass(frozen=True)
 class SimulationParams:
@@ -68,13 +87,20 @@ class SimulationEngine:
         train_at: str = "llc",
         obs: Optional[ObservabilityConfig] = None,
         sink: Optional[TraceSink] = None,
+        vectorized: bool = True,
     ) -> None:
         """``obs`` selects what the run records (trace file, timeline);
         ``sink`` overrides the trace destination with a ready-made
         :class:`~repro.obs.sinks.TraceSink` (ring buffers, recorders).
         A sink built *here* from ``obs.trace_path`` is owned by the
-        engine and closed when :meth:`run` returns."""
+        engine and closed when :meth:`run` returns.  ``vectorized``
+        permits the NumPy batch-replay tier when the run qualifies
+        (see :meth:`_vector_path_eligible`); results are identical
+        either way."""
         self.workload = workload
+        self.vectorized = vectorized
+        #: fixed chunk size for the vectorized tier (tests); None = adaptive
+        self._vector_chunk: Optional[int] = None
         self.system = system if system is not None else SystemConfig()
         self.params = params if params is not None else SimulationParams()
         self.prefetcher_name = prefetcher
@@ -191,6 +217,27 @@ class SimulationEngine:
             >= self.params.instructions_per_core
         )
 
+    def _vector_path_eligible(self) -> bool:
+        """True when the NumPy batch-replay tier may run this simulation.
+
+        Requires everything :meth:`_fast_path_eligible` does, plus:
+
+        * prefetchers (if any) observe the **LLC** — the vector tier
+          batches L1 hits, so an L1-training prefetcher would miss its
+          input stream.  ``train_at="l1"`` stays eligible only for the
+          no-prefetcher baseline, where the L1 eviction hook is inert;
+        * numpy imports (``repro.sim.vector`` is the capability probe).
+        """
+        if not (self.vectorized and self._fast_path_eligible()):
+            return False
+        if self.prefetchers and self.hierarchy.train_at != "llc":
+            return False
+        try:
+            import repro.sim.vector  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
     def _run_until_compiled(self, arenas, cursors, budget_per_core: int) -> None:
         """:meth:`_run_until`, specialised for packed compiled traces.
 
@@ -304,7 +351,14 @@ class SimulationEngine:
 
     def _run(self) -> SimResult:
         params = self.params
-        if self._fast_path_eligible():
+        if self._vector_path_eligible():
+            from repro.sim.vector import VectorReplay
+
+            replay = VectorReplay(self, chunk_records=self._vector_chunk)
+            advance = replay.advance
+            _TIER_RUNS["vectorized"] += 1
+        elif self._fast_path_eligible():
+            _TIER_RUNS["compiled"] += 1
             arenas = [
                 self.workload.packed(core_id)
                 for core_id in range(self.system.num_cores)
@@ -315,6 +369,7 @@ class SimulationEngine:
                 self._run_until_compiled(arenas, cursors, budget)
 
         else:
+            _TIER_RUNS["general"] += 1
             streams = {
                 core_id: self.workload.core_stream(core_id)
                 for core_id in range(self.system.num_cores)

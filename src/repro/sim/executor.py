@@ -42,7 +42,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.common.config import SystemConfig
 from repro.common.stats import StatGroup
 from repro.obs.config import ObservabilityConfig
-from repro.sim.engine import FASTPATH_VERSION, SimulationEngine, SimulationParams
+from repro.sim.engine import (
+    FASTPATH_VERSION,
+    VECTOR_VERSION,
+    SimulationEngine,
+    SimulationParams,
+)
 from repro.sim.results import SimResult
 
 #: bump when the cache entry layout (not the simulated semantics) changes
@@ -52,7 +57,10 @@ from repro.sim.results import SimResult
 #: schema 3: jobs carry the trace-compile flag and digests fold in the
 #: engine fast-path version, so results cached before the compiled trace
 #: pipeline existed can never be served for compiled-path runs
-CACHE_SCHEMA = 3
+#: schema 4: jobs carry the vectorized flag and digests fold in the
+#: vector-tier version, so entries produced by an older batch-replay
+#: kernel are never served once the kernel changes
+CACHE_SCHEMA = 4
 
 KwargItems = Tuple[Tuple[str, object], ...]
 
@@ -175,6 +183,10 @@ class SimJob:
     #: two paths produce identical results, but the flag is still part
     #: of the job identity because it selects the execution machinery
     compile: bool = True
+    #: permit the NumPy batch-replay tier when the run qualifies; like
+    #: ``compile``, results are identical either way but the flag is
+    #: part of the job identity because it selects execution machinery
+    vectorized: bool = True
 
     @classmethod
     def build(
@@ -190,6 +202,7 @@ class SimJob:
         train_at: str = "llc",
         obs: Optional[ObservabilityConfig] = None,
         compile: bool = True,
+        vectorized: bool = True,
     ) -> "SimJob":
         """Mirror of :func:`repro.sim.runner.run_simulation`'s signature."""
         return cls(
@@ -206,6 +219,7 @@ class SimJob:
             train_at=train_at,
             obs=obs if obs is not None else ObservabilityConfig(),
             compile=compile,
+            vectorized=vectorized,
         )
 
     def spec(self) -> Dict[str, object]:
@@ -224,6 +238,7 @@ class SimJob:
             # is part of the identity of a cached entry.
             "obs": _canonical(asdict(self.obs)),
             "compile": self.compile,
+            "vectorized": self.vectorized,
         }
 
     @property
@@ -239,8 +254,8 @@ class SimJob:
     def digest(self) -> str:
         """Stable cache key: job spec + code version + cache schema.
 
-        The engine fast-path version rides along so a change to the
-        specialised compiled-trace loop invalidates every entry it
+        The engine fast-path and vector-tier versions ride along so a
+        change to either specialised loop invalidates every entry it
         could have produced.
         """
         from repro import __version__
@@ -250,6 +265,7 @@ class SimJob:
                 "schema": CACHE_SCHEMA,
                 "version": __version__,
                 "fastpath": FASTPATH_VERSION,
+                "vector": VECTOR_VERSION,
                 "job": self.spec(),
             },
             sort_keys=True,
@@ -296,6 +312,7 @@ def execute_job(job: SimJob) -> SimResult:
         prefetcher_kwargs=dict(job.prefetcher_kwargs) or None,
         train_at=job.train_at,
         obs=job.obs,
+        vectorized=job.vectorized,
     )
     return engine.run()
 
@@ -325,6 +342,7 @@ def execute_job_checked(job: SimJob) -> SimResult:
         train_at=job.train_at,
         obs=job.obs,
         sink=sink,
+        vectorized=job.vectorized,
     )
     checker.attach(engine.hierarchy)
     try:

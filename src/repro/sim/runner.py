@@ -33,6 +33,7 @@ def run_simulation(
     obs=None,
     sink=None,
     compile: bool = False,
+    vectorized: bool = True,
 ) -> SimResult:
     """Run one workload under one prefetcher; returns the measured window.
 
@@ -51,7 +52,9 @@ def run_simulation(
     ``compile=True`` packs the workload's streams into a compiled trace
     first (cached on disk for named workloads, where the trace identity
     is fully known), enabling the engine's allocation-free replay loop;
-    results are identical either way.
+    results are identical either way.  ``vectorized`` (default on)
+    additionally permits the NumPy batch-replay tier when the run
+    qualifies — again with identical results.
     """
     resolved = _resolve_workload(workload, seed, scale)
     if compile:
@@ -75,6 +78,7 @@ def run_simulation(
         train_at=train_at,
         obs=obs,
         sink=sink,
+        vectorized=vectorized,
     )
     return engine.run()
 
@@ -93,6 +97,7 @@ def compare_prefetchers(
     cache=None,
     executor=None,
     compile: bool = True,
+    vectorized: bool = True,
 ) -> Dict[str, SimResult]:
     """Run a workload under several prefetchers (plus the baseline).
 
@@ -133,6 +138,7 @@ def compare_prefetchers(
                 warmup_instructions=warmup_instructions,
                 seed=seed,
                 prefetcher_kwargs=kwargs_by_name.get(name),
+                vectorized=vectorized,
             )
         return results
 
@@ -149,6 +155,7 @@ def compare_prefetchers(
             scale=scale,
             prefetcher_kwargs=kwargs_by_name.get(name),
             compile=compile,
+            vectorized=vectorized,
         )
         for name in names
     ]

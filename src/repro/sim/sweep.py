@@ -26,6 +26,7 @@ def sweep_prefetcher_parameter(
     cache: Optional[ResultCache] = None,
     executor: Optional[Executor] = None,
     compile: bool = True,
+    vectorized: bool = True,
 ) -> Dict[object, SimResult]:
     """Run the same (workload, prefetcher) across values of one parameter.
 
@@ -66,6 +67,7 @@ def sweep_prefetcher_parameter(
                 seed=seed,
                 scale=scale,
                 prefetcher_kwargs=kwargs,
+                vectorized=vectorized,
             )
         return results
 
@@ -84,6 +86,7 @@ def sweep_prefetcher_parameter(
                 scale=scale,
                 prefetcher_kwargs=kwargs,
                 compile=compile,
+                vectorized=vectorized,
             )
         )
     if executor is None:

@@ -1,0 +1,669 @@
+"""NumPy batch replay over packed trace arenas: the vectorized tier.
+
+The scalar compiled loop (:meth:`SimulationEngine._run_until_compiled`)
+interleaves cores by a dispatch-time heap and walks records one at a
+time.  This module replays the same packed traces with the same global
+semantics but batches everything that does not touch shared state:
+
+* **Barrier decomposition.**  Only L1 *misses* reach shared machinery
+  (per-core MSHRs keyed by call order, the shared LLC/DRAM, the
+  translator's shared frame PRNG, ``hierarchy._now``).  L1 hits and
+  compute instructions touch nothing but their core's private timing
+  state and additive stat counters, so they commute with every other
+  core's work.  The driver therefore runs each core *vectorized* up to
+  its next miss (the "barrier"), then executes pending barriers one at
+  a time in global ``(dispatch, core_id)`` order — exactly the order
+  the scalar heap pops them, because per-core dispatch times strictly
+  increase and heap ties break by core id.
+
+* **Array L1s.**  Each core's L1D lives in preallocated tag/valid
+  arrays plus an LRU *stamp* per way holding the instruction index of
+  the block's last touch.  Per-instruction indices are unique, so
+  ``argmin(stamp)`` reproduces the ``OrderedDict`` LRU victim exactly;
+  hit touches commit with an ordered scatter (later touches of a block
+  overwrite earlier ones, so the surviving stamp is the latest).
+
+* **Bit-exact timing kernels.**  Dispatch chains use sequential
+  ``np.add.accumulate`` (same float additions, same order, as the
+  scalar loop); ROB readiness is handled by *anchored retry* — assume
+  the pure chain, find the first position where the retire ring binds,
+  commit the exact prefix, anchor that one instruction on the exact
+  ring value, and retry.  Dependent-load serialisation is fixed up by
+  a short scalar pass over just the dependent positions.  Every float
+  the kernels produce is the result of the same operations in the same
+  order as the scalar loop, so ``SimResult``\\ s match field for field.
+
+* **A constant-time readiness test.**  Ring slots hold the running
+  retire maximum, written in instruction order — so the values an
+  attempt can read are *monotone nondecreasing*, and the window's
+  maximum is its last slot (or ``last_retire`` once the window wraps
+  the whole ring).  One scalar compare against the chain's first
+  dispatch therefore proves most attempts violation-free, skipping the
+  gather/argmax machinery entirely; only attempts near a long-latency
+  retire (the real ROB-drain case) pay for the exact search.
+
+* **In-flight demotion.**  Batching only pays when stretches between
+  barriers are long; on miss-dense traces (the ``mix*`` workloads run
+  ~74 % L1 miss rates) classification and reclassification are pure
+  overhead on top of the shared miss path every tier pays.  The driver
+  therefore probes the first :data:`PROBE_BARRIERS` misses and, when
+  the mean stretch falls below :data:`DEMOTE_STRETCH` records, hands
+  the rest of the run to the scalar compiled loop: core state is
+  written back exactly as at end-of-advance, and the array L1s are
+  materialised back into the real ``Cache`` objects in stamp (LRU)
+  order — so the compiled loop continues from byte-identical state and
+  the vectorized tier is never slower than the compiled tier by more
+  than the probe window.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.vector.classify import (
+    CLS_MISS,
+    Chunk,
+    classify_chunk,
+    reclassify_set,
+    reclassify_vpage,
+)
+
+#: starting / bounding chunk sizes (records) for adaptive chunking
+DEFAULT_CHUNK = 4096
+MIN_CHUNK = 256
+MAX_CHUNK = 32768
+#: barriers per chunk the adaptive sizing steers toward
+TARGET_BARRIERS = 8
+#: stretches at or below this length run the scalar-lean kernel
+SCALAR_CUTOFF = 24
+#: cap on one anchored-retry attempt, bounding per-violation rework
+ATTEMPT_MAX = 4096
+#: a violation this close to the attempt start counts as "early"; two
+#: in a row switch the stretch to the scalar kernel for one ROB window
+EARLY_VIOLATION = 16
+#: demotion probe: after this many barriers, compare the mean stretch
+PROBE_BARRIERS = 512
+#: mean records-per-barrier below which the run demotes to the scalar
+#: compiled loop.  Measured break-even on a 1-CPU host is ~100 records
+#: per barrier (below that, per-stretch NumPy call overhead plus
+#: chunk (re)classification outweigh what batching saves); 80 keeps a
+#: safety margin for hit-dominated traces whose probe window runs cold.
+DEMOTE_STRETCH = 80
+
+class _CoreState:
+    """Private replay state of one core: trace views, timing, array L1."""
+
+    __slots__ = (
+        "core_id",
+        "pcs",
+        "addrs",
+        "flags",
+        "count",
+        "ring",
+        "rob",
+        "interval",
+        "last_dispatch",
+        "last_retire",
+        "last_llc",
+        "tags",
+        "valid",
+        "valid_count",
+        "stamp",
+        "chunk",
+        "chunk_records",
+        "pend_hits",
+        "bufd",
+        "bufr",
+        "bufc",
+        "bufg",
+        "bufb",
+    )
+
+    def __init__(self, core_id, arena, core, sets, ways) -> None:
+        self.core_id = core_id
+        records = arena.records
+        self.pcs = np.frombuffer(arena.pcs, dtype=np.uint64, count=records)
+        self.addrs = np.frombuffer(
+            arena.addresses, dtype=np.uint64, count=records
+        )
+        self.flags = np.frombuffer(arena.flags, dtype=np.uint8, count=records)
+        self.count = core._count
+        self.rob = core._rob
+        self.interval = core._dispatch_interval
+        self.ring = np.array(core._retire_ring, dtype=np.float64)
+        self.last_dispatch = core._last_dispatch
+        self.last_retire = core._last_retire
+        self.last_llc = core._last_load_complete
+        self.tags = np.zeros((sets, ways), dtype=np.uint64)
+        self.valid = np.zeros((sets, ways), dtype=bool)
+        self.valid_count = [0] * sets
+        self.stamp = np.zeros(sets * ways, dtype=np.int64)
+        self.chunk: Optional[Chunk] = None
+        self.chunk_records = DEFAULT_CHUNK
+        self.pend_hits = 0
+        # scratch buffers for the attempt kernels (never observable)
+        self.bufd = np.empty(ATTEMPT_MAX + 1, dtype=np.float64)
+        self.bufr = np.empty(ATTEMPT_MAX + 1, dtype=np.float64)
+        self.bufc = np.empty(ATTEMPT_MAX, dtype=np.float64)
+        self.bufg = np.empty(ATTEMPT_MAX, dtype=np.float64)
+        self.bufb = np.empty(ATTEMPT_MAX, dtype=bool)
+
+
+class VectorReplay:
+    """Batch-replays a compiled workload against the engine's hierarchy."""
+
+    def __init__(self, engine, chunk_records: Optional[int] = None) -> None:
+        self.engine = engine
+        h = engine.hierarchy
+        self.h = h
+        amap = h.address_map
+        self.page_bits = amap.page_bits
+        self.block_bits = amap.block_bits
+        self.block_mask = amap.block_size - 1
+        l1cfg = h.config.l1d
+        self.hit_lat = l1cfg.hit_latency
+        self.ways = l1cfg.ways
+        self.set_mask = np.uint64(l1cfg.sets - 1)
+        if chunk_records is None:
+            env = os.environ.get("REPRO_VECTOR_CHUNK")
+            chunk_records = int(env) if env else None
+        self.fixed_chunk = chunk_records
+        self.cores: List[_CoreState] = []
+        for core_id, core in enumerate(engine.cores):
+            arena = engine.workload.packed(core_id)
+            cs = _CoreState(core_id, arena, core, l1cfg.sets, l1cfg.ways)
+            if chunk_records is not None:
+                cs.chunk_records = max(1, chunk_records)
+            self.cores.append(cs)
+        # whether a full-ring window (m >= rob) can ever bind mid-attempt:
+        # within-attempt completes trail the chain by at most max(hit, ALU)
+        # latency, and the chain advances rob*interval per ROB turn
+        rob = self.cores[0].rob if self.cores else 0
+        interval = self.cores[0].interval if self.cores else 0.0
+        self.rob_slack = rob * interval >= max(self.hit_lat, 1.0) + 1.0
+        self.demoted = False
+        self._barriers_seen = 0
+        self._probe_done = False
+
+    # -- the driver -------------------------------------------------------
+    def advance(self, budget_per_core: int) -> None:
+        """Advance every core to ``budget_per_core`` retired instructions."""
+        if self.demoted:
+            self._advance_demoted(budget_per_core)
+            return
+        try:
+            pending = []
+            for cs in self.cores:
+                dispatch = self._run_to_barrier(cs, budget_per_core)
+                if dispatch is not None:
+                    pending.append((dispatch, cs.core_id))
+            heapq.heapify(pending)
+            while pending:
+                _, core_id = heapq.heappop(pending)
+                cs = self.cores[core_id]
+                self._execute_barrier(cs)
+                if not self._probe_done and self._should_demote():
+                    self.demoted = True
+                    break
+                dispatch = self._run_to_barrier(cs, budget_per_core)
+                if dispatch is not None:
+                    heapq.heappush(pending, (dispatch, core_id))
+        finally:
+            self._writeback()
+        if self.demoted:
+            self._materialize_l1()
+            self._advance_demoted(budget_per_core)
+
+    def _should_demote(self) -> bool:
+        """Probe the trace's barrier density over the first misses."""
+        self._barriers_seen += 1
+        if self._barriers_seen < PROBE_BARRIERS:
+            return False
+        replayed = sum(cs.count for cs in self.cores)
+        if replayed >= self._barriers_seen * DEMOTE_STRETCH:
+            self._probe_done = True  # hit-dominated: batching pays, stay
+            return False
+        return True
+
+    def _advance_demoted(self, budget_per_core: int) -> None:
+        """Hand the rest of the run to the scalar compiled loop."""
+        engine = self.engine
+        arenas = [
+            engine.workload.packed(core_id)
+            for core_id in range(len(self.cores))
+        ]
+        # record index == retired count: every packed record retires one
+        # instruction, so the cores' own counts are the resume cursors
+        cursors = [core._count for core in engine.cores]
+        engine._run_until_compiled(arenas, cursors, budget_per_core)
+
+    def _materialize_l1(self) -> None:
+        """Rebuild the real L1 ``Cache`` objects from the array mirrors.
+
+        The compiled loop probes the real ``OrderedDict`` sets, which
+        the vector tier never touched.  Residency is the mirror's tag
+        arrays; recency is the stamp order (each stamp is the block's
+        last-touch instruction index, so inserting oldest-first makes
+        ``popitem(last=False)`` evict exactly ``argmin(stamp)``).  L1
+        block metadata needs no reconstruction: the demand fill path
+        always inserts a default ``BlockState`` and hits never mutate
+        it, so order *is* the entire state.
+        """
+        from repro.memsys.cache import BlockState
+        from repro.sim.engine import _TIER_RUNS
+
+        _TIER_RUNS["demoted"] += 1
+        ways = self.ways
+        for cs in self.cores:
+            l1 = self.h.l1ds[cs.core_id]
+            stamp = cs.stamp.tolist()
+            tags = cs.tags
+            for set_index, entries in enumerate(l1._sets):
+                filled = cs.valid_count[set_index]
+                if not filled:
+                    continue
+                base = set_index * ways
+                order = sorted(range(filled), key=lambda w: stamp[base + w])
+                for w in order:
+                    entries[int(tags[set_index, w])] = BlockState(
+                        core_id=cs.core_id
+                    )
+
+    def _next_dispatch(self, cs: _CoreState) -> float:
+        dispatch = cs.last_dispatch + cs.interval
+        if cs.count >= cs.rob:
+            ready = cs.ring[cs.count % cs.rob]
+            if ready > dispatch:
+                dispatch = ready
+        return float(dispatch)
+
+    def _run_to_barrier(
+        self, cs: _CoreState, budget: int
+    ) -> Optional[float]:
+        """Vectorize the core forward to its next barrier (or the budget).
+
+        Returns the barrier's exact dispatch time for the global order
+        heap, or None when the core has retired its budget first.
+        """
+        while True:
+            if cs.count >= budget:
+                return None
+            chunk = cs.chunk
+            if chunk is None or cs.count >= chunk.end:
+                chunk = self._load_chunk(cs, budget)
+            rel = cs.count - chunk.start
+            tail = chunk.kind[rel:] >= CLS_MISS
+            first = int(np.argmax(tail))
+            if not tail[first]:
+                if chunk.end > cs.count:
+                    self._time_stretch(cs, chunk, cs.count, chunk.end)
+                continue
+            bpos = chunk.start + rel + first
+            if bpos > cs.count:
+                self._time_stretch(cs, chunk, cs.count, bpos)
+            if bpos >= budget:
+                return None
+            return self._next_dispatch(cs)
+
+    def _load_chunk(self, cs: _CoreState, budget: int) -> Chunk:
+        start = cs.count
+        end = min(start + cs.chunk_records, budget)
+        chunk = classify_chunk(
+            start,
+            end,
+            cs.addrs,
+            cs.flags,
+            self.h.translator._mapping,
+            cs.core_id,
+            cs.tags,
+            cs.valid,
+            self.page_bits,
+            self.block_bits,
+            self.set_mask,
+            self.ways,
+            self.hit_lat,
+        )
+        cs.chunk = chunk
+        if self.fixed_chunk is None:
+            barriers = int((chunk.kind >= CLS_MISS).sum())
+            if barriers > 2 * TARGET_BARRIERS:
+                cs.chunk_records = max(MIN_CHUNK, cs.chunk_records // 2)
+            elif barriers < TARGET_BARRIERS // 2:
+                cs.chunk_records = min(MAX_CHUNK, cs.chunk_records * 2)
+        return chunk
+
+    # -- hit/compute stretches --------------------------------------------
+    def _time_stretch(
+        self, cs: _CoreState, chunk: Chunk, start: int, stop: int
+    ) -> None:
+        """Replay records ``[start, stop)`` — all L1 hits or compute."""
+        rel0 = start - chunk.start
+        rel1 = stop - chunk.start
+        hid = np.nonzero(chunk.hitv[rel0:rel1])[0]
+        if hid.size:
+            # ordered LRU touches: later touches of a slot overwrite
+            # earlier ones, leaving each block's *latest* index
+            cs.stamp[chunk.slots[rel0:rel1][hid]] = start + hid
+            cs.pend_hits += int(hid.size)
+        if stop - start <= SCALAR_CUTOFF:
+            self._time_scalar(cs, chunk, rel0, rel1)
+        else:
+            self._time_vector(cs, chunk, rel0, rel1)
+
+    def _time_scalar(self, cs, chunk, rel0: int, rel1: int) -> None:
+        """Scalar-lean kernel: the compiled loop's arithmetic, verbatim."""
+        mm = chunk.hitv[rel0:rel1].tolist()
+        dd = chunk.depv[rel0:rel1].tolist()
+        ll = chunk.loadv[rel0:rel1].tolist()
+        ring = cs.ring
+        rob = cs.rob
+        interval = cs.interval
+        lat = self.hit_lat
+        count = cs.count
+        last_dispatch = cs.last_dispatch
+        last_retire = cs.last_retire
+        last_llc = cs.last_llc
+        for j in range(rel1 - rel0):
+            dispatch = last_dispatch + interval
+            if count >= rob:
+                ready = ring[count % rob]
+                if ready > dispatch:
+                    dispatch = ready
+            if mm[j]:
+                issue = dispatch
+                if dd[j] and last_llc > issue:
+                    issue = last_llc
+                complete = issue + lat
+                if ll[j]:
+                    last_llc = complete
+            else:
+                complete = dispatch + 1.0  # CoreTimingModel.ALU_LATENCY
+            if complete > last_retire:
+                last_retire = complete
+            ring[count % rob] = last_retire
+            count += 1
+            last_dispatch = dispatch
+        cs.count = count
+        cs.last_dispatch = float(last_dispatch)
+        cs.last_retire = float(last_retire)
+        cs.last_llc = float(last_llc)
+
+    def _time_vector(self, cs, chunk, rel0: int, rel1: int) -> None:
+        """Anchored-retry batch kernel over a classified stretch."""
+        ring = cs.ring
+        rob = cs.rob
+        interval = cs.interval
+        lat = self.hit_lat
+        n = rel1 - rel0
+        a = 0
+        consec_early = 0
+        while a < n:
+            rem = n - a
+            if rem <= SCALAR_CUTOFF:
+                self._time_scalar(cs, chunk, rel0 + a, rel1)
+                return
+            if consec_early >= 2:
+                # ROB-bound drain: the ring binds nearly every record, so
+                # vector attempts degenerate — run one window scalar.
+                b = min(n, a + rob)
+                self._time_scalar(cs, chunk, rel0 + a, rel0 + b)
+                a = b
+                consec_early = 0
+                continue
+            m = min(rem, ATTEMPT_MAX)
+            A = cs.count  # absolute index of the attempt's first record
+            r = rel0 + a
+            # candidate dispatch chain (no ROB binding): sequential adds
+            buf = cs.bufd[: m + 1]
+            buf[0] = cs.last_dispatch
+            buf[1:] = interval
+            np.add.accumulate(buf, out=buf)
+            dseg = buf[1:]
+            # completes under the chain: dispatch + per-record latency
+            comp = np.add(dseg, chunk.addlat[r : r + m], out=cs.bufc[:m])
+            deppos = None
+            lidx = None
+            if chunk.any_dep:
+                deppos = np.nonzero(chunk.depv[r : r + m])[0]
+            if deppos is not None and deppos.size:
+                # scalar fix-up over just the dependent positions: a
+                # dependent access issues no earlier than the previous
+                # load's completion, and the pull propagates in place
+                lidx = np.nonzero(chunk.loadv[r : r + m])[0]
+                nb = np.searchsorted(lidx, deppos)
+                li = lidx.tolist()
+                for p, o in zip(deppos.tolist(), nb.tolist()):
+                    prev = comp[li[o - 1]] if o else cs.last_llc
+                    if prev > dseg[p]:
+                        comp[p] = prev + lat
+
+            rbuf = cs.bufr[: m + 1]
+            rbuf[0] = cs.last_retire
+            rbuf[1:] = comp
+            np.maximum.accumulate(rbuf, out=rbuf)
+            retire = rbuf[1:]
+
+            # constant-time readiness test (see module docstring): ring
+            # values are monotone in write order, so the window max is
+            # its last slot — one compare against the chain's minimum
+            d0 = float(buf[1])
+            if m < rob:
+                clean = float(ring[(A + m - 1) % rob]) <= d0
+            else:
+                clean = (
+                    self.rob_slack
+                    and cs.last_retire <= d0
+                    and (deppos is None or deppos.size == 0)
+                )
+            if clean:
+                v = m
+            else:
+                # exact search: gather the window (at most two
+                # contiguous ring segments), find the first violation
+                ready = cs.bufg[:m]
+                w = m if m < rob else rob
+                s0 = A % rob
+                k = rob - s0
+                if w <= k:
+                    ready[:w] = ring[s0 : s0 + w]
+                else:
+                    ready[:k] = ring[s0:]
+                    ready[k:w] = ring[: w - k]
+                if m > rob:
+                    ready[rob:] = retire[: m - rob]
+                viol = np.greater(ready, dseg, out=cs.bufb[:m])
+                v = int(np.argmax(viol))
+                if not viol[v]:
+                    v = m
+
+            if v:  # commit the exact prefix [0, v)
+                w2 = v if v < rob else rob
+                seg = retire[v - w2 : v]
+                s0 = (A + v - w2) % rob
+                k = rob - s0
+                if w2 <= k:
+                    ring[s0 : s0 + w2] = seg
+                else:
+                    ring[s0:] = seg[:k]
+                    ring[: w2 - k] = seg[k:]
+                cs.last_dispatch = float(dseg[v - 1])
+                cs.last_retire = float(retire[v - 1])
+                if lidx is None:
+                    lidx = np.nonzero(chunk.loadv[r : r + m])[0]
+                nl = int(np.searchsorted(lidx, v))
+                if nl:
+                    cs.last_llc = float(comp[lidx[nl - 1]])
+                cs.count += v
+            if v == m:
+                consec_early = 0
+                a += m
+                continue
+            # anchor the violating record on the exact ring value
+            p = r + v
+            self._scalar_one(
+                cs,
+                float(ready[v]),
+                bool(chunk.hitv[p]),
+                bool(chunk.depv[p]),
+                bool(chunk.loadv[p]),
+            )
+            consec_early = consec_early + 1 if v < EARLY_VIOLATION else 0
+            a += v + 1
+
+    def _scalar_one(self, cs, dispatch, is_mem, is_dep, is_load) -> None:
+        """Retire one record whose dispatch time is already exact."""
+        if is_mem:
+            issue = dispatch
+            if is_dep and cs.last_llc > issue:
+                issue = cs.last_llc
+            complete = issue + self.hit_lat
+            if is_load:
+                cs.last_llc = float(complete)
+        else:
+            complete = dispatch + 1.0
+        retire = cs.last_retire
+        if complete > retire:
+            retire = complete
+        cs.ring[cs.count % cs.rob] = retire
+        cs.count += 1
+        cs.last_dispatch = dispatch
+        cs.last_retire = float(retire)
+
+    # -- barriers ---------------------------------------------------------
+    def _execute_barrier(self, cs: _CoreState) -> None:
+        """One L1 miss, replayed scalar against the real shared objects.
+
+        This is :meth:`MemoryHierarchy.access`'s miss path verbatim, with
+        the array L1 standing in for the ``Cache`` object: same counter
+        increments, same MSHR call sequence, same ``_llc_access`` entry —
+        so the LLC, DRAM, prefetchers, and the translator's PRNG see
+        byte-identical call streams in byte-identical global order.
+        """
+        h = self.h
+        chunk = cs.chunk
+        index = cs.count
+        rel = index - chunk.start
+        kind = int(chunk.kind[rel])
+        bits = int(cs.flags[index])
+        is_write = bool(bits & 2)
+        core_id = cs.core_id
+
+        dispatch = self._next_dispatch(cs)
+        issue = dispatch
+        if bits & 4 and cs.last_llc > issue:
+            issue = cs.last_llc
+        now = issue
+
+        if kind == CLS_MISS:
+            block = int(chunk.block[rel])
+            set_index = int(chunk.setidx[rel])
+            vaddr = int(cs.addrs[index])
+            vpage = frame = None
+        else:  # CLS_UNKNOWN: first touch — the real translator allocates
+            vaddr = int(cs.addrs[index])
+            paddr0 = h.translator.translate(core_id, vaddr)
+            block = paddr0 >> self.block_bits
+            set_index = block & int(self.set_mask)
+            vpage = vaddr >> self.page_bits
+            frame = paddr0 >> self.page_bits
+        paddr = (block << self.block_bits) | (vaddr & self.block_mask)
+
+        h._l1_accesses[core_id].value += 1
+        h._l1_misses[core_id].value += 1
+        mshr = h.l1_mshrs[core_id]
+        merged = mshr.merge(block, now)
+        filled = False
+        if merged is not None:
+            latency = (merged - now) + self.hit_lat
+        else:
+            start = mshr.reserve(now)
+            issue2 = start + self.hit_lat
+            result = h._llc_access(
+                core_id, int(cs.pcs[index]), paddr, block, issue2, is_write
+            )
+            latency = (issue2 - now) + self.hit_lat + result.latency
+            mshr.commit(block, now + latency, start=start)
+            self._fill(cs, block, set_index, index)
+            filled = True
+
+        complete = now + latency
+        if not is_write:
+            cs.last_llc = float(complete)
+        retire = cs.last_retire
+        if complete > retire:
+            retire = complete
+        cs.ring[index % cs.rob] = retire
+        cs.count = index + 1
+        cs.last_dispatch = dispatch
+        cs.last_retire = float(retire)
+
+        if cs.count < chunk.end:
+            if frame is not None:
+                reclassify_vpage(
+                    chunk,
+                    cs.count,
+                    vpage,
+                    frame,
+                    cs.addrs,
+                    cs.tags,
+                    cs.valid,
+                    self.page_bits,
+                    self.block_bits,
+                    self.set_mask,
+                    self.ways,
+                    self.hit_lat,
+                )
+            if filled:
+                reclassify_set(
+                    chunk,
+                    cs.count,
+                    set_index,
+                    cs.tags,
+                    cs.valid,
+                    self.ways,
+                    self.hit_lat,
+                )
+
+    def _fill(self, cs: _CoreState, block: int, set_index: int, index: int):
+        """Array-L1 fill: LRU victim by stamp, mirroring ``Cache.fill``."""
+        l1 = self.h.l1ds[cs.core_id]
+        filled = cs.valid_count[set_index]
+        base = set_index * self.ways
+        if filled == self.ways:
+            way = int(np.argmin(cs.stamp[base : base + self.ways]))
+            l1._evictions.value += 1
+        else:
+            # valid bits never clear, so ways fill strictly in index
+            # order and the first free way is the current fill count
+            way = filled
+            cs.valid_count[set_index] = filled + 1
+            cs.valid[set_index, way] = True
+        cs.tags[set_index, way] = block
+        cs.stamp[base + way] = index
+        l1._fills.value += 1
+
+    # -- state writeback --------------------------------------------------
+    def _writeback(self) -> None:
+        """Mirror replay state back into the real objects.
+
+        Runs at the end of every :meth:`advance` (even on error), before
+        any snapshot can observe the cores: identical post-state to the
+        scalar loops.
+        """
+        h = self.h
+        for cs, core in zip(self.cores, self.engine.cores):
+            core._count = cs.count
+            core._last_dispatch = float(cs.last_dispatch)
+            core._last_retire = float(cs.last_retire)
+            core._last_load_complete = float(cs.last_llc)
+            core._retire_ring[:] = cs.ring.tolist()
+            core._stat_instructions.value = cs.count
+            core._stat_cycles.value = float(cs.last_retire)
+            if cs.pend_hits:
+                h._l1_accesses[cs.core_id].value += cs.pend_hits
+                h._l1_hits[cs.core_id].value += cs.pend_hits
+                cs.pend_hits = 0

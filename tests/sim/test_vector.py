@@ -1,0 +1,254 @@
+"""The vectorized batch-replay tier: equivalence, eligibility, demotion.
+
+The tier's one non-negotiable property mirrors the compiled path's: it
+changes *nothing* about a run except its speed.  Every test here holds
+the vectorized engine to field-for-field ``SimResult`` equality against
+the scalar compiled loop and the generator loop — across the full
+prefetcher zoo, across chunk-boundary edge cases (chunk size 1, a
+boundary exactly on a trigger access, compute-only chunks), and across
+the in-flight demotion handoff.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import small_system
+from repro.experiments.common import PAPER_PREFETCHERS
+from repro.sim.compile import compile_workload
+from repro.sim.engine import (
+    SimulationEngine,
+    SimulationParams,
+    engine_tier_counters,
+)
+from repro.sim.executor import SimJob, execute_job
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload
+
+SCALE = 0.02
+
+
+def run_tiers(
+    workload="streaming",
+    prefetcher="bingo",
+    instructions=3000,
+    warmup=500,
+    seed=7,
+    scale=SCALE,
+    chunk=None,
+    with_generator=True,
+):
+    """Run one configuration on every tier; return the SimResult dicts."""
+    system = small_system(num_cores=4)
+    params = SimulationParams(
+        instructions_per_core=instructions, warmup_instructions=warmup
+    )
+    source = make_workload(workload, seed=seed, scale=scale)
+    compiled = compile_workload(source, records_per_core=instructions)
+    out = {}
+    if with_generator:
+        out["generator"] = SimulationEngine(
+            source, prefetcher, system, params, vectorized=False
+        ).run().to_dict()
+    out["compiled"] = SimulationEngine(
+        compiled, prefetcher, system, params, vectorized=False
+    ).run().to_dict()
+    engine = SimulationEngine(
+        compiled, prefetcher, system, params, vectorized=True
+    )
+    if chunk is not None:
+        engine._vector_chunk = chunk
+    assert engine._vector_path_eligible()
+    out["vectorized"] = engine.run().to_dict()
+    return out
+
+
+class TestThreeTierEquivalence:
+    @pytest.mark.parametrize(
+        "prefetcher", ["none", *PAPER_PREFETCHERS]
+    )
+    def test_zoo_equal_field_for_field(self, prefetcher):
+        """Vectorized == compiled == generator for every prefetcher."""
+        tiers = run_tiers(prefetcher=prefetcher)
+        assert tiers["vectorized"] == tiers["compiled"] == tiers["generator"]
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_NAMES)[:4])
+    def test_across_workloads(self, workload):
+        tiers = run_tiers(workload=workload, instructions=2000, warmup=400)
+        assert tiers["vectorized"] == tiers["compiled"] == tiers["generator"]
+
+    def test_zero_warmup(self):
+        tiers = run_tiers(instructions=1500, warmup=0)
+        assert tiers["vectorized"] == tiers["compiled"] == tiers["generator"]
+
+
+class TestChunkBoundaries:
+    """Decision-boundary chunking must not depend on where chunks fall."""
+
+    @pytest.mark.parametrize("chunk", [1, 2, 7, 64])
+    def test_pathological_chunk_sizes(self, chunk):
+        """Chunk size 1 puts *every* boundary on a record — including
+        every trigger access; tiny sizes exercise empty and
+        compute-only chunks between memory records."""
+        tiers = run_tiers(
+            instructions=1200, warmup=200, chunk=chunk, with_generator=False
+        )
+        reference = run_tiers(
+            instructions=1200, warmup=200, with_generator=False
+        )
+        assert tiers["vectorized"] == tiers["compiled"]
+        assert tiers["vectorized"] == reference["vectorized"]
+
+    def test_boundary_exactly_on_trigger_access(self):
+        """Place a chunk boundary on the first L1 miss: with the
+        adaptive default the miss lands mid-chunk, with chunk=1 every
+        miss *is* a boundary — both must agree with the scalar loop."""
+        small = run_tiers(
+            prefetcher="bingo", instructions=900, warmup=100, chunk=1,
+            with_generator=False,
+        )
+        assert small["vectorized"] == small["compiled"]
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    workload=st.sampled_from(sorted(WORKLOAD_NAMES)),
+    prefetcher=st.sampled_from(["none", "bingo", "sms", "bop"]),
+    instructions=st.integers(min_value=400, max_value=2500),
+    warmup_fraction=st.floats(min_value=0.0, max_value=0.45),
+    seed=st.integers(min_value=1, max_value=2**16),
+)
+def test_property_three_tier_equality(
+    workload, prefetcher, instructions, warmup_fraction, seed
+):
+    """Any (workload, prefetcher, budget, seed) point: all tiers agree."""
+    warmup = int(instructions * warmup_fraction)
+    tiers = run_tiers(
+        workload=workload,
+        prefetcher=prefetcher,
+        instructions=instructions,
+        warmup=warmup,
+        seed=seed,
+    )
+    assert tiers["vectorized"] == tiers["compiled"] == tiers["generator"]
+
+
+class TestEligibilityAndFallback:
+    def test_vector_path_actually_engages(self):
+        """Guard against the tier silently never running."""
+        before = engine_tier_counters()["vectorized"]
+        tiers = run_tiers(instructions=800, warmup=100, with_generator=False)
+        assert engine_tier_counters()["vectorized"] == before + 1
+        assert tiers["vectorized"] == tiers["compiled"]
+
+    def test_disabled_flag_falls_back_to_compiled(self):
+        system = small_system(num_cores=4)
+        params = SimulationParams(800, 100)
+        compiled = compile_workload(
+            make_workload("streaming", seed=7, scale=SCALE),
+            records_per_core=800,
+        )
+        engine = SimulationEngine(
+            compiled, "bingo", system, params, vectorized=False
+        )
+        assert not engine._vector_path_eligible()
+        assert engine._fast_path_eligible()
+
+    def test_l1_training_prefetcher_is_ineligible(self):
+        system = small_system(num_cores=4)
+        params = SimulationParams(800, 100)
+        compiled = compile_workload(
+            make_workload("streaming", seed=7, scale=SCALE),
+            records_per_core=800,
+        )
+        engine = SimulationEngine(
+            compiled, "bingo", system, params, train_at="l1", vectorized=True
+        )
+        assert not engine._vector_path_eligible()
+
+    def test_generator_workload_is_ineligible(self):
+        system = small_system(num_cores=4)
+        params = SimulationParams(800, 100)
+        source = make_workload("streaming", seed=7, scale=SCALE)
+        engine = SimulationEngine(
+            source, "bingo", system, params, vectorized=True
+        )
+        assert not engine._vector_path_eligible()
+
+
+class TestDemotion:
+    def test_demotion_handoff_is_byte_identical(self):
+        """Force a mid-run demotion and hold the result to equality."""
+        import repro.sim.vector.replay as replay_mod
+
+        system = small_system(num_cores=4)
+        params = SimulationParams(3000, 500)
+        compiled = compile_workload(
+            make_workload("em3d", seed=7, scale=SCALE), records_per_core=3000
+        )
+        scalar = SimulationEngine(
+            compiled, "bingo", system, params, vectorized=False
+        ).run()
+        probe, stretch = replay_mod.PROBE_BARRIERS, replay_mod.DEMOTE_STRETCH
+        replay_mod.PROBE_BARRIERS = 16
+        replay_mod.DEMOTE_STRETCH = 10**9  # always demote at the probe
+        try:
+            before = engine_tier_counters()["demoted"]
+            vector = SimulationEngine(
+                compiled, "bingo", system, params, vectorized=True
+            ).run()
+            assert engine_tier_counters()["demoted"] == before + 1
+        finally:
+            replay_mod.PROBE_BARRIERS = probe
+            replay_mod.DEMOTE_STRETCH = stretch
+        assert vector.to_dict() == scalar.to_dict()
+
+
+class TestJobIntegration:
+    def job(self, vectorized, **overrides):
+        spec = dict(
+            system=small_system(num_cores=4),
+            instructions_per_core=1500,
+            warmup_instructions=300,
+            seed=7,
+            scale=SCALE,
+            compile=True,
+            vectorized=vectorized,
+        )
+        spec.update(overrides)
+        return SimJob.build("streaming", prefetcher="bingo", **spec)
+
+    def test_execute_job_matches_across_flag(self):
+        assert (
+            execute_job(self.job(True)).to_dict()
+            == execute_job(self.job(False)).to_dict()
+        )
+
+    def test_vectorized_flag_changes_the_digest(self):
+        assert self.job(True).digest() != self.job(False).digest()
+
+    def test_vector_version_is_folded_into_the_digest(self, monkeypatch):
+        import repro.sim.executor as executor_mod
+
+        digest = self.job(True).digest()
+        monkeypatch.setattr(executor_mod, "VECTOR_VERSION", 999)
+        assert self.job(True).digest() != digest
+
+    def test_differential_harness_green_over_vector_path(self):
+        from repro.check import run_check
+
+        report = run_check(
+            "streaming",
+            prefetcher="bingo",
+            instructions_per_core=2000,
+            warmup_instructions=300,
+            seed=11,
+            scale=SCALE,
+            vectorized=True,
+        )
+        assert report.ok, report.summary()
