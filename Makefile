@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-report bench-vector experiments serve-smoke clean
+.PHONY: install test test-replacement bench bench-quick bench-report bench-vector experiments serve-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -12,6 +12,14 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# The replacement-policy zoo: conformance + properties + tier identity
+# + stress-generator suites (docs/replacement.md)
+test-replacement:
+	$(PYTHON) -m pytest tests/memsys/test_replacement_conformance.py \
+		tests/memsys/test_replacement_properties.py \
+		tests/memsys/test_replacement_identity.py \
+		tests/workloads/test_stress_generators.py
 
 # pytest-sized benches; the engine bench also refreshes BENCH_engine.json
 bench:

@@ -506,6 +506,7 @@ def run_check(
     system=None,
     compile: bool = False,
     vectorized: bool = False,
+    replacement: str = "lru",
 ) -> CheckReport:
     """Run one small configuration with the full harness attached.
 
@@ -528,13 +529,20 @@ def run_check(
     harness directly (it replays L1 hits without emitting events), so
     the result-level diff against the harnessed reference is exactly
     the guarantee the tier claims: byte-identical ``SimResult`` objects.
+
+    ``replacement`` selects the LLC policy for every engine built here.
+    The reference LLC is replacement-agnostic — it mirrors residency
+    from the live event stream rather than predicting victims — so the
+    full harness holds for any registered policy, not just LRU
+    (``bingo-sim check --replacement arc``).  ``"opt"`` implies
+    ``compile`` (the Belady oracle pre-scans the packed arenas).
     """
     from repro.common.config import small_system
     from repro.obs.sinks import TeeSink
     from repro.sim.engine import SimulationEngine, SimulationParams
     from repro.workloads.registry import make_workload
 
-    if vectorized:
+    if vectorized or replacement == "opt":
         compile = True
     if system is None:
         system = small_system(num_cores=num_cores)
@@ -562,6 +570,7 @@ def run_check(
             warmup_instructions=warmup_instructions,
         ),
         sink=TeeSink([checker, invariants]),
+        replacement=replacement,
     )
     hierarchy = engine.hierarchy
     invariants.attach(hierarchy)
@@ -610,11 +619,11 @@ def run_check(
         )
         scalar = SimulationEngine(
             workload=workload_obj, prefetcher=prefetcher, system=system,
-            params=params, vectorized=False,
+            params=params, vectorized=False, replacement=replacement,
         ).run()
         vector = SimulationEngine(
             workload=workload_obj, prefetcher=prefetcher, system=system,
-            params=params, vectorized=True,
+            params=params, vectorized=True, replacement=replacement,
         ).run()
         sd, vd = scalar.to_dict(), vector.to_dict()
         if sd != vd:

@@ -42,6 +42,7 @@ from repro.experiments.common import (
     default_params,
     experiment_system,
 )
+from repro.memsys.replacement import available_replacements
 from repro.prefetchers.registry import available_prefetchers
 from repro.sim.results import speedup
 from repro.sim.runner import compare_prefetchers, run_simulation
@@ -102,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the NumPy batch-replay engine tier "
                             "(results are identical; see "
                             "docs/performance.md)")
+    run_p.add_argument("--replacement", default="lru",
+                       choices=available_replacements(),
+                       help="LLC replacement policy (default: lru; 'opt' "
+                            "is the Belady oracle and needs the compiled "
+                            "trace, i.e. not --no-compile)")
 
     cmp_p = sub.add_parser("compare", help="compare prefetchers on a workload")
     cmp_p.add_argument("--workload", "-w", required=True)
@@ -115,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--no-compile", action="store_true",
                        help="replay the live workload generators instead "
                             "of a shared packed compiled trace")
+    cmp_p.add_argument("--replacement", default="lru",
+                       choices=available_replacements(),
+                       help="LLC replacement policy for every run "
+                            "(default: lru)")
 
     sweep_p = sub.add_parser(
         "sweep", help="sweep one prefetcher parameter over several values"
@@ -147,6 +157,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-vectorized", action="store_true",
                          help="disable the NumPy batch-replay engine tier "
                               "for every sweep point")
+    sweep_p.add_argument("--replacement", default="lru",
+                         choices=available_replacements(),
+                         help="LLC replacement policy for every sweep "
+                              "point (default: lru)")
 
     check_p = sub.add_parser(
         "check",
@@ -175,6 +189,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "simulated run replays vectorized (implies "
                               "--compiled) and must still match the "
                               "reference models event for event")
+    check_p.add_argument("--replacement", default="lru",
+                         choices=available_replacements(),
+                         help="LLC replacement policy for the checked "
+                              "runs; the untimed reference caches track "
+                              "residency from the live event stream, so "
+                              "any policy can be checked (default: lru)")
 
     from repro.serve.api import DEFAULT_PORT
 
@@ -249,6 +269,7 @@ def _params(args) -> tuple:
 def _cmd_list() -> int:
     print("workloads:   ", " ".join(available_workloads()))
     print("prefetchers: ", " ".join(available_prefetchers()))
+    print("replacement: ", " ".join(available_replacements()))
     print("experiments: ", " ".join(sorted(EXPERIMENTS)))
     return 0
 
@@ -273,6 +294,7 @@ def _cmd_run(args) -> int:
         scale=EXPERIMENT_SCALE,
         compile=not args.no_compile,
         vectorized=not args.no_vectorized,
+        replacement=args.replacement,
     )
 
     def simulate():
@@ -328,6 +350,7 @@ def _cmd_compare(args) -> int:
         scale=EXPERIMENT_SCALE,
         workers=args.workers,
         compile=not args.no_compile,
+        replacement=args.replacement,
     )
     baseline = results["none"]
     rows = []
@@ -385,6 +408,7 @@ def _cmd_sweep(args) -> int:
         executor=executor,
         compile=not args.no_compile,
         vectorized=not args.no_vectorized,
+        replacement=args.replacement,
     )
     rows = []
     for value, result in results.items():
@@ -435,8 +459,10 @@ def _cmd_check(args) -> int:
                 warmup_instructions=args.warmup,
                 seed=args.seed,
                 scale=args.scale,
-                compile=args.compiled or args.vectorized,
+                compile=args.compiled or args.vectorized
+                or args.replacement == "opt",
                 vectorized=args.vectorized,
+                replacement=args.replacement,
             )
             print(report.summary())
             if not report.ok:

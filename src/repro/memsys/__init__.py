@@ -10,6 +10,13 @@ from repro.memsys.cache import BlockState, Cache
 from repro.memsys.dram import DramModel
 from repro.memsys.hierarchy import AccessResult, MemoryHierarchy
 from repro.memsys.mshr import MshrFile
+from repro.memsys.replacement import (
+    ReplacementError,
+    ReplacementPolicy,
+    available_replacements,
+    make_replacement,
+    replay_trace,
+)
 from repro.memsys.translation import RandomFirstTouchTranslator
 
 __all__ = [
@@ -20,4 +27,9 @@ __all__ = [
     "MemoryHierarchy",
     "MshrFile",
     "RandomFirstTouchTranslator",
+    "ReplacementError",
+    "ReplacementPolicy",
+    "available_replacements",
+    "make_replacement",
+    "replay_trace",
 ]

@@ -22,6 +22,7 @@ from typing import Callable, Iterator, Optional, Tuple
 
 from repro.common.config import CacheConfig
 from repro.common.stats import StatGroup
+from repro.memsys.replacement import ReplacementError, ReplacementPolicy
 from repro.obs.events import Eviction
 from repro.obs.sinks import NULL_SINK, TraceSink
 
@@ -59,6 +60,13 @@ class Cache:
     An optional ``on_evict(block, state)`` callback lets the hierarchy
     notify prefetchers of end-of-residency events (Bingo and SMS train on
     them) and count overpredictions.
+
+    With ``policy=None`` (the default) the set's ``OrderedDict`` order *is*
+    the policy — true LRU with zero extra bookkeeping, the original inner
+    loop untouched.  Passing a :class:`ReplacementPolicy` routes victim
+    choice through its ``victim()`` hook instead and mirrors every
+    residency change into it; the policy's contract (resident victims,
+    determinism) is documented in :mod:`repro.memsys.replacement`.
     """
 
     def __init__(
@@ -68,6 +76,7 @@ class Cache:
         on_evict: Optional[EvictionCallback] = None,
         stats: Optional[StatGroup] = None,
         sink: TraceSink = NULL_SINK,
+        policy: Optional[ReplacementPolicy] = None,
     ) -> None:
         self.config = config
         self.name = name
@@ -80,6 +89,14 @@ class Cache:
         self.ways = config.ways
         self._set_mask = self.num_sets - 1
         self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        if policy is not None and (
+            policy.num_sets != self.num_sets or policy.ways != self.ways
+        ):
+            raise ValueError(
+                f"{name}: policy geometry {policy.num_sets}x{policy.ways} "
+                f"does not match cache geometry {self.num_sets}x{self.ways}"
+            )
+        self.policy = policy
         # fast-path counter cells: fills/evictions run once per miss
         self._fills = self.stats.counter("fills")
         self._evictions = self.stats.counter("evictions")
@@ -96,6 +113,8 @@ class Cache:
         state = entries.get(block)
         if state is not None and touch:
             entries.move_to_end(block)
+            if self.policy is not None:
+                self.policy.touch(block & self._set_mask, block)
         return state
 
     def contains(self, block: int) -> bool:
@@ -111,14 +130,30 @@ class Cache:
         happens when a demand miss races an in-flight prefetch; the caller
         is expected to check first, but the behaviour is well defined).
         """
-        entries = self._sets[block & self._set_mask]
+        set_index = block & self._set_mask
+        entries = self._sets[set_index]
+        policy = self.policy
         if block in entries:
             entries[block] = state
             entries.move_to_end(block)
+            if policy is not None:
+                policy.touch(set_index, block)
             return None
         victim = None
         if len(entries) >= self.ways:
-            victim_block, victim_state = entries.popitem(last=False)
+            if policy is None:
+                victim_block, victim_state = entries.popitem(last=False)
+            else:
+                victim_block = policy.victim(set_index, block)
+                victim_state = entries.pop(victim_block, None)
+                if victim_state is None:
+                    raise ReplacementError(
+                        f"{self.name}/{policy.name}: victim "
+                        f"{victim_block:#x} is not resident in set "
+                        f"{set_index} (residents: "
+                        f"{sorted(entries)})"
+                    )
+                policy.remove(set_index, victim_block)
             victim = (victim_block, victim_state)
             self._evictions.value += 1
             if self.sink.enabled:
@@ -133,6 +168,8 @@ class Cache:
             if self.on_evict is not None:
                 self.on_evict(victim_block, victim_state)
         entries[block] = state
+        if policy is not None:
+            policy.insert(set_index, block)
         self._fills.value += 1
         return victim
 
@@ -141,6 +178,8 @@ class Cache:
         entries = self._sets[block & self._set_mask]
         state = entries.pop(block, None)
         if state is not None:
+            if self.policy is not None:
+                self.policy.remove(block & self._set_mask, block)
             self._invalidations.value += 1
             if self.sink.enabled:
                 self.sink.emit(

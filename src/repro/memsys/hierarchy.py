@@ -25,6 +25,7 @@ from repro.common.stats import StatGroup
 from repro.memsys.cache import BlockState, Cache
 from repro.memsys.dram import DramModel
 from repro.memsys.mshr import MshrFile
+from repro.memsys.replacement import make_replacement
 from repro.memsys.translation import RandomFirstTouchTranslator
 from repro.obs.events import DemandHit, DemandMiss, PrefetchFill, PrefetchIssued
 from repro.obs.sinks import NULL_SINK, TraceSink
@@ -85,6 +86,8 @@ class MemoryHierarchy:
         stats: Optional[StatGroup] = None,
         train_at: str = "llc",
         sink: TraceSink = NULL_SINK,
+        replacement: str = "lru",
+        replacement_oracle=None,
     ) -> None:
         """``train_at`` selects where prefetchers observe traffic.
 
@@ -95,6 +98,16 @@ class MemoryHierarchy:
         paper argues pages linger far longer at the multi-megabyte LLC,
         giving footprints time to complete; the placement ablation bench
         quantifies exactly that.
+
+        ``replacement`` names an LLC policy from
+        :mod:`repro.memsys.replacement` ("lru", the default, keeps the
+        cache model's native OrderedDict fast path and is byte-identical
+        to the pre-zoo engine).  L1 replacement stays native LRU: the
+        vectorized tier mirrors the L1s as stamp arrays, so L1
+        pluggability would fork the tiers (docs/replacement.md).
+        ``replacement_oracle`` supplies next-use knowledge for "opt";
+        the engine builds it from the compiled workload and it is bound
+        to the live translator here.
         """
         if train_at not in ("llc", "l1"):
             raise ValueError(f"train_at must be 'llc' or 'l1', got {train_at!r}")
@@ -121,6 +134,25 @@ class MemoryHierarchy:
         self.translator = RandomFirstTouchTranslator(
             amap, config.physical_pages, config.translation_seed
         )
+        self.replacement = replacement
+        # "lru" stays on the cache model's built-in OrderedDict order —
+        # zero per-access overhead and byte-identical to the pre-zoo
+        # engine; anything else goes through the policy interface.
+        if replacement == "lru":
+            llc_policy = None
+        else:
+            llc_policy = make_replacement(
+                replacement,
+                config.llc.sets,
+                config.llc.ways,
+                oracle=replacement_oracle,
+            )
+        if replacement_oracle is not None:
+            replacement_oracle.attach(self.translator)
+        # prebound observe hook: one attribute test on the demand path
+        self._oracle_observe = (
+            replacement_oracle.observe if replacement_oracle is not None else None
+        )
         l1_on_evict = self._handle_l1_eviction if train_at == "l1" else None
         self.l1ds = [
             Cache(
@@ -141,6 +173,7 @@ class MemoryHierarchy:
             on_evict=self._handle_llc_eviction,
             stats=self.stats.child("llc"),
             sink=self.sink,
+            policy=llc_policy,
         )
         self.dram = DramModel(
             config.dram, config.core, amap.block_size, self.stats.child("dram")
@@ -264,6 +297,11 @@ class MemoryHierarchy:
         cfg = self.config
         self._c_demand_accesses.value += 1
         self._now = max(self._now, now)
+        if self._oracle_observe is not None:
+            # Belady bookkeeping: consume this block's occurrence so
+            # next_use() looks strictly into the future.  Demand accesses
+            # only — prefetch fills are not program references.
+            self._oracle_observe(block)
         if is_write:
             self._c_demand_writes.value += 1
 

@@ -159,6 +159,7 @@ def job_to_wire(job: SimJob) -> Dict[str, Any]:
         "scale": job.scale,
         "train_at": job.train_at,
         "compile": job.compile,
+        "replacement": job.replacement,
         "system": dataclasses.asdict(job.system),
         "obs": {"timeline_interval": job.obs.timeline_interval},
     }
@@ -179,7 +180,8 @@ def job_from_wire(payload: Dict[str, Any]) -> SimJob:
     payload = dict(payload)
     known = {
         "workload", "prefetcher", "prefetcher_kwargs", "instructions",
-        "warmup", "seed", "scale", "train_at", "compile", "system", "obs",
+        "warmup", "seed", "scale", "train_at", "compile", "replacement",
+        "system", "obs",
     }
     unknown = set(payload) - known
     if unknown:
@@ -232,4 +234,5 @@ def job_from_wire(payload: Dict[str, Any]) -> SimJob:
         train_at=str(payload.get("train_at", "llc")),
         obs=obs,
         compile=bool(payload.get("compile", True)),
+        replacement=str(payload.get("replacement", "lru")),
     )

@@ -23,6 +23,7 @@ from repro.common.config import SystemConfig
 from repro.common.stats import StatGroup
 from repro.cpu.core import CoreTimingModel
 from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.replacement import TraceOracle, available_replacements
 from repro.obs.config import ObservabilityConfig
 from repro.obs.sinks import NULL_SINK, TraceSink, build_sink
 from repro.obs.timeline import TimelineRecorder
@@ -88,6 +89,7 @@ class SimulationEngine:
         obs: Optional[ObservabilityConfig] = None,
         sink: Optional[TraceSink] = None,
         vectorized: bool = True,
+        replacement: str = "lru",
     ) -> None:
         """``obs`` selects what the run records (trace file, timeline);
         ``sink`` overrides the trace destination with a ready-made
@@ -96,9 +98,17 @@ class SimulationEngine:
         engine and closed when :meth:`run` returns.  ``vectorized``
         permits the NumPy batch-replay tier when the run qualifies
         (see :meth:`_vector_path_eligible`); results are identical
-        either way."""
+        either way.  ``replacement`` selects the LLC policy from
+        :mod:`repro.memsys.replacement`; ``"opt"`` needs next-use
+        knowledge and therefore a compiled workload to pre-scan."""
         self.workload = workload
         self.vectorized = vectorized
+        if replacement not in available_replacements():
+            raise ValueError(
+                f"unknown replacement policy {replacement!r}; "
+                f"available: {available_replacements()}"
+            )
+        self.replacement = replacement
         #: fixed chunk size for the vectorized tier (tests); None = adaptive
         self._vector_chunk: Optional[int] = None
         self.system = system if system is not None else SystemConfig()
@@ -130,6 +140,16 @@ class SimulationEngine:
                 for _ in range(self.system.num_cores)
             ]
 
+        oracle = None
+        if replacement == "opt":
+            if not isinstance(workload, CompiledWorkload):
+                raise ValueError(
+                    "replacement='opt' needs the packed trace arenas to "
+                    "pre-scan next-use distances; run with a compiled "
+                    "workload (compile=True / --compiled)"
+                )
+            oracle = TraceOracle(workload, self.system)
+
         self.stats = StatGroup("run")
         self.hierarchy = MemoryHierarchy(
             self.system,
@@ -137,6 +157,8 @@ class SimulationEngine:
             stats=self.stats.child("memsys"),
             train_at=train_at,
             sink=self.sink,
+            replacement=replacement,
+            replacement_oracle=oracle,
         )
         self.cores = [
             CoreTimingModel(self.system.core, stats=self.stats.child(f"core{i}"))

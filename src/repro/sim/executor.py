@@ -60,7 +60,10 @@ from repro.sim.results import SimResult
 #: schema 4: jobs carry the vectorized flag and digests fold in the
 #: vector-tier version, so entries produced by an older batch-replay
 #: kernel are never served once the kernel changes
-CACHE_SCHEMA = 4
+#: schema 5: jobs carry the LLC replacement-policy name, so a zoo run
+#: ("fifo", "arc", "opt", ...) can never collide with the LRU entry of
+#: the same point — and every pre-zoo entry invalidates at once
+CACHE_SCHEMA = 5
 
 KwargItems = Tuple[Tuple[str, object], ...]
 
@@ -187,6 +190,9 @@ class SimJob:
     #: ``compile``, results are identical either way but the flag is
     #: part of the job identity because it selects execution machinery
     vectorized: bool = True
+    #: LLC replacement policy (a ``repro.memsys.replacement`` registry
+    #: name); "lru" is the paper's configuration and the native fast path
+    replacement: str = "lru"
 
     @classmethod
     def build(
@@ -203,6 +209,7 @@ class SimJob:
         obs: Optional[ObservabilityConfig] = None,
         compile: bool = True,
         vectorized: bool = True,
+        replacement: str = "lru",
     ) -> "SimJob":
         """Mirror of :func:`repro.sim.runner.run_simulation`'s signature."""
         return cls(
@@ -220,6 +227,7 @@ class SimJob:
             obs=obs if obs is not None else ObservabilityConfig(),
             compile=compile,
             vectorized=vectorized,
+            replacement=replacement,
         )
 
     def spec(self) -> Dict[str, object]:
@@ -239,6 +247,7 @@ class SimJob:
             "obs": _canonical(asdict(self.obs)),
             "compile": self.compile,
             "vectorized": self.vectorized,
+            "replacement": self.replacement,
         }
 
     @property
@@ -313,6 +322,7 @@ def execute_job(job: SimJob) -> SimResult:
         train_at=job.train_at,
         obs=job.obs,
         vectorized=job.vectorized,
+        replacement=job.replacement,
     )
     return engine.run()
 
@@ -343,6 +353,7 @@ def execute_job_checked(job: SimJob) -> SimResult:
         obs=job.obs,
         sink=sink,
         vectorized=job.vectorized,
+        replacement=job.replacement,
     )
     checker.attach(engine.hierarchy)
     try:

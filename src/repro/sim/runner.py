@@ -34,6 +34,7 @@ def run_simulation(
     sink=None,
     compile: bool = False,
     vectorized: bool = True,
+    replacement: str = "lru",
 ) -> SimResult:
     """Run one workload under one prefetcher; returns the measured window.
 
@@ -55,6 +56,10 @@ def run_simulation(
     results are identical either way.  ``vectorized`` (default on)
     additionally permits the NumPy batch-replay tier when the run
     qualifies — again with identical results.
+
+    ``replacement`` selects the LLC replacement policy by registry name
+    (:mod:`repro.memsys.replacement`); ``"opt"`` — the Belady oracle —
+    needs the packed trace to pre-scan, so pass ``compile=True`` with it.
     """
     resolved = _resolve_workload(workload, seed, scale)
     if compile:
@@ -79,6 +84,7 @@ def run_simulation(
         obs=obs,
         sink=sink,
         vectorized=vectorized,
+        replacement=replacement,
     )
     return engine.run()
 
@@ -98,6 +104,7 @@ def compare_prefetchers(
     executor=None,
     compile: bool = True,
     vectorized: bool = True,
+    replacement: str = "lru",
 ) -> Dict[str, SimResult]:
     """Run a workload under several prefetchers (plus the baseline).
 
@@ -139,6 +146,7 @@ def compare_prefetchers(
                 seed=seed,
                 prefetcher_kwargs=kwargs_by_name.get(name),
                 vectorized=vectorized,
+                replacement=replacement,
             )
         return results
 
@@ -156,6 +164,7 @@ def compare_prefetchers(
             prefetcher_kwargs=kwargs_by_name.get(name),
             compile=compile,
             vectorized=vectorized,
+            replacement=replacement,
         )
         for name in names
     ]

@@ -27,6 +27,7 @@ def sweep_prefetcher_parameter(
     executor: Optional[Executor] = None,
     compile: bool = True,
     vectorized: bool = True,
+    replacement: str = "lru",
 ) -> Dict[object, SimResult]:
     """Run the same (workload, prefetcher) across values of one parameter.
 
@@ -68,6 +69,7 @@ def sweep_prefetcher_parameter(
                 scale=scale,
                 prefetcher_kwargs=kwargs,
                 vectorized=vectorized,
+                replacement=replacement,
             )
         return results
 
@@ -87,6 +89,7 @@ def sweep_prefetcher_parameter(
                 prefetcher_kwargs=kwargs,
                 compile=compile,
                 vectorized=vectorized,
+                replacement=replacement,
             )
         )
     if executor is None:

@@ -1,4 +1,4 @@
-"""Workload registry: Table II by name."""
+"""Workload registry: Table II by name, plus the stress suite."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ from repro.workloads.base import Workload
 from repro.workloads.mixes import MIX_COMPOSITIONS, make_mix
 from repro.workloads.scientific import em3d
 from repro.workloads.server import data_serving, sat_solver, streaming, zeus
+from repro.workloads.stress import oscillate, phase_shift, zipf
 
 #: Version of the workload generators' *output*.  Bump whenever any
 #: registered generator's record stream changes for a given (name, seed,
@@ -21,12 +22,17 @@ _FACTORIES: Dict[str, Callable[[float], Workload]] = {
     "streaming": streaming,
     "zeus": zeus,
     "em3d": em3d,
+    "zipf": zipf,
+    "phase_shift": phase_shift,
+    "oscillate": oscillate,
 }
 for _mix_name in MIX_COMPOSITIONS:
     # bind the loop variable via a default argument
     _FACTORIES[_mix_name] = lambda scale=1.0, name=_mix_name: make_mix(name, scale)
 
-#: Table II's row order, used by every figure.
+#: Table II's row order, used by every figure.  Deliberately does NOT
+#: include the stress suite: experiments iterate WORKLOAD_NAMES, and the
+#: paper's matrix must stay the paper's matrix.
 WORKLOAD_NAMES = (
     "data_serving",
     "sat_solver",
@@ -40,12 +46,17 @@ WORKLOAD_NAMES = (
     "mix5",
 )
 
+#: off-matrix stress generators (:mod:`repro.workloads.stress`), built
+#: to separate replacement policies and stress prefetcher adaptivity
+STRESS_WORKLOAD_NAMES = ("zipf", "phase_shift", "oscillate")
+
 #: the server + scientific subset (used by a few analyses)
 SERVER_WORKLOADS = ("data_serving", "sat_solver", "streaming", "zeus")
 
 
 def available_workloads() -> List[str]:
-    return list(WORKLOAD_NAMES)
+    """Everything resolvable by name: Table II first, then the stress suite."""
+    return list(WORKLOAD_NAMES) + list(STRESS_WORKLOAD_NAMES)
 
 
 def register_workload(

@@ -152,6 +152,78 @@ def test_check_command(capsys):
     assert "OK: 2 checks" in out
 
 
+def test_list_shows_replacement_policies(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "replacement:" in out
+    assert "arc" in out and "opt" in out
+    assert "zipf" in out  # the stress workloads ride along in the listing
+
+
+def test_run_with_replacement(capsys):
+    code = cli.main(
+        ["run", "-w", "streaming", "-p", "nextline",
+         "--instructions", "3000", "--warmup", "500",
+         "--replacement", "arc"]
+    )
+    assert code == 0
+    assert "coverage" in capsys.readouterr().out
+
+
+def test_run_with_opt_forces_compilation(capsys):
+    """--replacement opt needs packed arenas; the CLI flips compile on."""
+    code = cli.main(
+        ["run", "-w", "streaming", "-p", "none",
+         "--instructions", "3000", "--warmup", "500",
+         "--replacement", "opt"]
+    )
+    assert code == 0
+    assert "coverage" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_replacement(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(
+            ["run", "-w", "streaming", "--replacement", "mru",
+             "--instructions", "3000"]
+        )
+
+
+def test_check_with_replacement(capsys):
+    code = cli.main(
+        ["check", "-w", "streaming", "-p", "bingo",
+         "--instructions", "3000", "--warmup", "500",
+         "--replacement", "lru-interface"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "streaming/bingo: OK" in out
+
+
+def test_sweep_with_replacement(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    base = [
+        "sweep", "-w", "streaming", "-p", "nextline",
+        "--parameter", "degree", "--values", "1",
+        "--instructions", "3000", "--warmup", "500",
+    ]
+    assert cli.main(base + ["--replacement", "fifo"]) == 0
+    assert "1 executed" in capsys.readouterr().out
+    # a different policy is a different digest: no cross-policy cache hit
+    assert cli.main(base + ["--replacement", "2q"]) == 0
+    out = capsys.readouterr().out
+    assert "0 cache hits" in out and "1 executed" in out
+
+
+def test_run_stress_workload(capsys):
+    code = cli.main(
+        ["run", "-w", "oscillate", "-p", "nextline",
+         "--instructions", "3000", "--warmup", "500"]
+    )
+    assert code == 0
+    assert "oscillate / nextline" in capsys.readouterr().out
+
+
 def test_sweep_check_flag_bypasses_cache(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     argv = [
