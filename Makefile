@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-replacement bench bench-quick bench-report bench-vector experiments serve-smoke clean
+.PHONY: install test test-replacement bench bench-quick bench-report bench-vector experiments serve-smoke experiment-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -45,6 +45,11 @@ bench-output:
 # HTTP, compare against a direct run, SIGTERM, assert a clean drain
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
+
+# Black-box smoke of adaptive experiments: POST a 12-point space,
+# assert two halving rounds promote screens to a full-length winner
+experiment-smoke:
+	PYTHONPATH=src $(PYTHON) tools/experiment_smoke.py
 
 # Regenerate a single paper figure, e.g. `make fig8`
 table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10:

@@ -13,8 +13,12 @@ Subcommands:
   (``--no-cache`` to disable, ``REPRO_CACHE_DIR`` to relocate);
   ``--check`` runs every point under the strict invariant checker and
   bypasses the cache.
-* ``experiment`` — regenerate a paper table/figure by id (e.g. ``fig8``);
-  ``--workers N`` parallelises the underlying run matrix.
+* ``experiment`` — regenerate a paper table/figure by id (e.g. ``fig8``;
+  ``--workers N`` parallelises the underlying run matrix), or — with
+  ``--space`` — submit a parameter *space* to a running daemon for
+  adaptive search: successive-halving rounds screen the grid with cheap
+  short traces and promote only the top fraction to full length
+  (see ``docs/service.md``).
 * ``check`` — differential correctness harness: replays a (workload ×
   prefetcher) matrix against untimed reference models plus the runtime
   invariant checker and reports the first divergence, if any (see
@@ -249,13 +253,50 @@ def _build_parser() -> argparse.ArgumentParser:
     jobs_p.add_argument("--metrics", action="store_true",
                         help="print the service's counters instead")
 
-    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    exp_p.add_argument("id", choices=sorted(EXPERIMENTS))
+    exp_p = sub.add_parser(
+        "experiment",
+        help="regenerate a paper table/figure, or run an adaptive "
+             "search on a daemon (--space)",
+    )
+    exp_p.add_argument("id", nargs="?", default=None,
+                       help="paper table/figure id to regenerate "
+                            f"({', '.join(sorted(EXPERIMENTS))}); "
+                            "omit when using --space")
     exp_p.add_argument("--export", metavar="PATH", default=None,
                        help="also write the rows to PATH (.csv or .json)")
     exp_p.add_argument("--workers", type=int, default=None,
                        help="worker processes for the run matrix "
                             "(default: $REPRO_WORKERS or 1)")
+    exp_p.add_argument("--space", metavar="JSON|@FILE", default=None,
+                       help="adaptive search: a parameter-space object "
+                            "(inline JSON, or @path to a JSON file) "
+                            "submitted to a running daemon and screened "
+                            "by successive halving (docs/service.md)")
+    exp_p.add_argument("--objective", default="ipc",
+                       help="metric to optimise: ipc, coverage, accuracy, "
+                            "mpki, overprediction (default: ipc)")
+    exp_p.add_argument("--screen", type=int, default=2000,
+                       help="instructions per core for the cheapest "
+                            "screening rung (default: 2000)")
+    exp_p.add_argument("--full", type=int, default=20000,
+                       help="instructions per core for the final "
+                            "full-length rung (default: 20000)")
+    exp_p.add_argument("--eta", type=float, default=2.0,
+                       help="halving rate: budgets grow and survivors "
+                            "shrink by this factor per round (default: 2)")
+    exp_p.add_argument("--cutoff", type=float, default=None,
+                       help="absolute early-stop bar on the objective; "
+                            "candidates failing it are dropped even "
+                            "inside the keep fraction")
+    exp_p.add_argument("--priority", type=int, default=0,
+                       help="queue priority for the experiment's jobs")
+    exp_p.add_argument("--url", default=None,
+                       help=f"service base URL (default: "
+                            f"$REPRO_SERVE_URL or {default_url})")
+    exp_p.add_argument("--no-wait", action="store_true",
+                       help="submit and print the experiment id without "
+                            "polling it to completion")
+    exp_p.add_argument("--wait-timeout", type=float, default=1800.0)
     return parser
 
 
@@ -579,7 +620,91 @@ def _cmd_jobs(args) -> int:
     return 0
 
 
+def _cmd_experiment_space(args) -> int:
+    """The ``--space`` path: adaptive search against a running daemon."""
+    import json as _json
+
+    from repro.serve import ServiceClient, ServiceError
+
+    text = args.space
+    if text.startswith("@"):
+        try:
+            with open(text[1:], "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read space file: {exc}", file=sys.stderr)
+            return 2
+    try:
+        space = _json.loads(text)
+    except ValueError as exc:
+        print(f"error: --space is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    schedule = {"screen": args.screen, "full": args.full, "eta": args.eta}
+    if args.cutoff is not None:
+        schedule["cutoff"] = args.cutoff
+    client = ServiceClient(_serve_url(args))
+    try:
+        accepted = client.submit_experiment(
+            space,
+            schedule=schedule,
+            objective=args.objective,
+            priority=args.priority,
+        )
+    except (ServiceError, OSError) as exc:
+        print(f"error: experiment submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"experiment {accepted['id']} {accepted['state']}: "
+        f"{accepted['points']} points, rungs {accepted['rungs']}"
+    )
+    if args.no_wait:
+        return 0
+    try:
+        record = client.wait_experiment(
+            accepted["id"], timeout=args.wait_timeout
+        )
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"error: experiment wait failed: {exc}", file=sys.stderr)
+        return 1
+    for round_report in record.get("rounds", []):
+        print(
+            f"round {round_report['round']}: "
+            f"{round_report['instructions']} instructions, "
+            f"{round_report['candidates']} candidates -> "
+            f"{len(round_report.get('promoted', []))} promoted"
+        )
+    if record["state"] != "done":
+        print(
+            f"experiment {record['id']} failed: {record.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    winner = record["winner"]
+    spec = winner["spec"]
+    rows = [
+        dict(field="workload", value=spec["workload"]),
+        dict(field="prefetcher", value=spec["prefetcher"]),
+        dict(field="knobs", value=_json.dumps(spec.get("prefetcher_kwargs", {}))),
+        dict(field=winner["metric"], value=round(winner["score"], 4)),
+        dict(field="job", value=winner["job_id"]),
+    ]
+    print(format_table(rows, title=f"experiment {record['id']} winner"))
+    return 0
+
+
 def _cmd_experiment(args) -> int:
+    if args.space is not None:
+        return _cmd_experiment_space(args)
+    if args.id is None:
+        print("error: experiment needs an id or --space", file=sys.stderr)
+        return 2
+    if args.id not in EXPERIMENTS:
+        print(
+            f"error: unknown experiment {args.id!r} "
+            f"(choose from {', '.join(sorted(EXPERIMENTS))})",
+            file=sys.stderr,
+        )
+        return 2
     if args.workers is not None:
         import os
 

@@ -9,7 +9,11 @@ exponential backoff, per-job wall-clock timeouts and a circuit breaker
 (:mod:`repro.serve.client`).  All worker slots share one on-disk
 result cache and compiled-trace cache, so a fleet of figure sweeps
 against one warm daemon deduplicates work across *clients*, not just
-within a batch.  See ``docs/service.md``.
+within a batch.  On top of the job path,
+:mod:`repro.serve.orchestrate` runs adaptive *experiments*: submit a
+parameter space and a successive-halving schedule screens it with
+cheap short traces, promoting only the top fraction to full-length
+runs.  See ``docs/service.md``.
 """
 
 from repro.serve.api import DEFAULT_PORT, make_server, run_server
@@ -21,6 +25,17 @@ from repro.serve.jobs import (
     job_to_wire,
 )
 from repro.serve.metrics import LatencyHistogram
+from repro.serve.orchestrate import (
+    ExperimentOrchestrator,
+    ExperimentRecord,
+    ExperimentSpace,
+    ExperimentState,
+    HalvingSchedule,
+    Objective,
+    objective_from_wire,
+    schedule_from_wire,
+    space_from_wire,
+)
 from repro.serve.queue import JobQueue
 from repro.serve.service import (
     QuarantinedError,
@@ -32,10 +47,16 @@ from repro.serve.supervisor import CircuitBreaker, RetryPolicy, Supervisor
 __all__ = [
     "DEFAULT_PORT",
     "CircuitBreaker",
+    "ExperimentOrchestrator",
+    "ExperimentRecord",
+    "ExperimentSpace",
+    "ExperimentState",
+    "HalvingSchedule",
     "JobQueue",
     "JobRecord",
     "JobState",
     "LatencyHistogram",
+    "Objective",
     "QuarantinedError",
     "RetryPolicy",
     "ServiceClient",
@@ -46,5 +67,8 @@ __all__ = [
     "job_from_wire",
     "job_to_wire",
     "make_server",
+    "objective_from_wire",
     "run_server",
+    "schedule_from_wire",
+    "space_from_wire",
 ]

@@ -14,6 +14,14 @@ Routes (all JSON in, JSON out):
 * ``GET /healthz`` — liveness + drain state + queue gauges.
 * ``GET /metrics`` — the service's full counter tree (see
   :meth:`repro.serve.service.SimulationService.metrics`).
+* ``POST /experiments`` — submit a parameter *space* for adaptive
+  search (``{"space": {...}, "schedule": {...}, "objective": ...}``,
+  see :mod:`repro.serve.orchestrate`).  Returns 202 with ``{"id",
+  "state", "points", "rungs"}``; 400 for a malformed space, 503 while
+  draining.
+* ``GET /experiments/<id>`` — the live experiment record: state,
+  round-by-round promotion reports, and the winner once done.
+* ``GET /experiments`` — newest-first experiment summaries (no rounds).
 
 The server is a ``ThreadingHTTPServer``: handler threads only touch the
 thread-safe service object, while simulations run in the service's own
@@ -31,6 +39,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.serve.jobs import job_from_wire
+from repro.serve.orchestrate import (
+    objective_from_wire,
+    schedule_from_wire,
+    space_from_wire,
+)
 from repro.serve.service import (
     QuarantinedError,
     ServiceConfig,
@@ -115,15 +128,37 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._error(404, f"no such job: {job_id}")
             else:
                 self._send_json(200, record.to_dict())
+        elif path == "/experiments":
+            self._send_json(
+                200,
+                {
+                    "experiments": [
+                        record.to_dict(include_rounds=False)
+                        for record in self.service.experiments()
+                    ]
+                },
+            )
+        elif path.startswith("/experiments/"):
+            experiment_id = path[len("/experiments/"):]
+            experiment = self.service.get_experiment(experiment_id)
+            if experiment is None:
+                self._error(404, f"no such experiment: {experiment_id}")
+            else:
+                self._send_json(200, experiment.to_dict())
         else:
             self._error(404, f"no such route: {path}")
 
     # -- POST ---------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path != "/jobs":
+        if path == "/jobs":
+            self._post_jobs()
+        elif path == "/experiments":
+            self._post_experiments()
+        else:
             self._error(404, f"no such route: {path}")
-            return
+
+    def _post_jobs(self) -> None:
         payload = self._read_body()
         if payload is None:
             return
@@ -172,6 +207,47 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._error(503, str(exc), accepted=accepted)
             return
         self._send_json(202, {"jobs": accepted})
+
+    def _post_experiments(self) -> None:
+        payload = self._read_body()
+        if payload is None:
+            return
+        if "space" not in payload:
+            self._error(400, "body needs a 'space' object")
+            return
+        unknown = set(payload) - {"space", "schedule", "objective", "priority"}
+        if unknown:
+            self._error(400, f"unknown field(s): {sorted(unknown)}")
+            return
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int):
+            self._error(400, "'priority' must be an integer")
+            return
+        try:
+            space = space_from_wire(payload["space"])
+            schedule = schedule_from_wire(payload.get("schedule"))
+            objective = objective_from_wire(payload.get("objective"))
+            record = self.service.submit_experiment(
+                space,
+                schedule=schedule,
+                objective=objective,
+                priority=priority,
+            )
+        except (ValueError, TypeError) as exc:
+            self._error(400, f"bad experiment spec: {exc}")
+            return
+        except RuntimeError as exc:  # draining
+            self._error(503, str(exc))
+            return
+        self._send_json(
+            202,
+            {
+                "id": record.id,
+                "state": record.state.value,
+                "points": len(record.points),
+                "rungs": record.schedule.rungs(),
+            },
+        )
 
 
 def make_server(

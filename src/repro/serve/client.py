@@ -18,15 +18,16 @@ when the daemon is unreachable.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.sim.executor import SimJob
 from repro.serve.jobs import job_to_wire
 
-#: states a poller can stop on
+#: states a poller can stop on (jobs and experiments alike)
 _TERMINAL = ("done", "failed")
 
 
@@ -64,7 +65,8 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
+                status = getattr(resp, "status", 200)
+                raw = resp.read()
         except urllib.error.HTTPError as exc:
             try:
                 body = json.loads(exc.read().decode("utf-8"))
@@ -72,6 +74,17 @@ class ServiceClient:
                 body = {}
             raise ServiceError(
                 exc.code, body.get("error", exc.reason), body
+            ) from None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            # A 2xx with a non-JSON body (a proxy interposed, a torn
+            # response) is a *service* problem — surface it as the same
+            # typed error every other transport failure uses, not a bare
+            # ValueError from the JSON parser.
+            snippet = raw[:200].decode("utf-8", "replace")
+            raise ServiceError(
+                status, f"non-JSON response body: {snippet!r}"
             ) from None
 
     # -- submission ---------------------------------------------------------
@@ -105,24 +118,91 @@ class ServiceClient:
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")
 
+    def _poll(
+        self,
+        fetch: Callable[[], Dict[str, Any]],
+        what: str,
+        timeout: float,
+        poll_interval: float,
+        max_interval: float,
+    ) -> Dict[str, Any]:
+        """Poll ``fetch`` until a terminal state, with jittered backoff.
+
+        A fixed poll period synchronises a fleet of waiting clients into
+        bursts against the daemon; the interval instead grows
+        geometrically (capped at ``max_interval``) and every sleep is
+        stretched by up to 25% of random jitter so pollers decorrelate.
+        """
+        deadline = time.monotonic() + timeout
+        interval = max(0.01, poll_interval)
+        while True:
+            record = fetch()
+            if record["state"] in _TERMINAL:
+                return record
+            now = time.monotonic()
+            if now >= deadline:
+                raise TimeoutError(
+                    f"{what} still {record['state']} after {timeout:g}s"
+                )
+            delay = interval * (1.0 + 0.25 * random.random())
+            time.sleep(min(delay, deadline - now))
+            interval = min(interval * 1.5, max_interval)
+
     def wait(
         self,
         job_id: str,
         timeout: float = 300.0,
         poll_interval: float = 0.25,
+        max_interval: float = 2.0,
     ) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state; returns the
         final record.  Raises ``TimeoutError`` if it does not."""
-        deadline = time.monotonic() + timeout
-        while True:
-            record = self.status(job_id)
-            if record["state"] in _TERMINAL:
-                return record
-            if time.monotonic() >= deadline:
-                raise TimeoutError(
-                    f"job {job_id} still {record['state']} after {timeout:g}s"
-                )
-            time.sleep(poll_interval)
+        return self._poll(
+            lambda: self.status(job_id),
+            f"job {job_id}",
+            timeout,
+            poll_interval,
+            max_interval,
+        )
+
+    # -- experiments ---------------------------------------------------------
+    def submit_experiment(
+        self,
+        space: Dict[str, Any],
+        schedule: Optional[Dict[str, Any]] = None,
+        objective: Optional[Union[str, Dict[str, Any]]] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit a parameter space for adaptive search; returns
+        ``{"id", "state", "points", "rungs"}`` (see docs/service.md)."""
+        payload: Dict[str, Any] = {"space": space, "priority": priority}
+        if schedule is not None:
+            payload["schedule"] = schedule
+        if objective is not None:
+            payload["objective"] = objective
+        return self._request("POST", "/experiments", payload)
+
+    def experiment(self, experiment_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/experiments/{experiment_id}")
+
+    def experiments(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/experiments")["experiments"]
+
+    def wait_experiment(
+        self,
+        experiment_id: str,
+        timeout: float = 1800.0,
+        poll_interval: float = 0.5,
+        max_interval: float = 5.0,
+    ) -> Dict[str, Any]:
+        """Poll until the experiment finishes; returns the final record."""
+        return self._poll(
+            lambda: self.experiment(experiment_id),
+            f"experiment {experiment_id}",
+            timeout,
+            poll_interval,
+            max_interval,
+        )
 
     # -- introspection ------------------------------------------------------
     def jobs(self) -> List[Dict[str, Any]]:

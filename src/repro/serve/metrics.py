@@ -17,6 +17,7 @@ X seconds".
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Sequence
 
 from repro.common.stats import StatGroup
@@ -56,23 +57,33 @@ class LatencyHistogram:
         ]
         self._count = self._group.counter("count")
         self._sum = self._group.counter("sum_seconds")
+        # StatCounter cells are bare mutable slots; ``cell.value += 1``
+        # from concurrent ThreadingHTTPServer handler threads is a
+        # read-modify-write race that silently drops observations.  One
+        # lock per histogram keeps the bucket/count/sum triple coherent.
+        self._observe_lock = threading.Lock()
 
     def observe(self, seconds: float) -> None:
         if not math.isfinite(seconds) or seconds < 0:
             return
-        for bound, cell in zip(self._bounds, self._cells):
-            if seconds <= bound:
-                cell.value += 1
-        self._count.value += 1
-        self._sum.value += seconds
+        with self._observe_lock:
+            for bound, cell in zip(self._bounds, self._cells):
+                if seconds <= bound:
+                    cell.value += 1
+            self._count.value += 1
+            self._sum.value += seconds
 
     @property
     def count(self) -> int:
-        return int(self._count.value)
+        with self._observe_lock:
+            return int(self._count.value)
 
     @property
     def mean(self) -> float:
-        return self._sum.value / self._count.value if self._count.value else 0.0
+        with self._observe_lock:
+            count = self._count.value
+            return self._sum.value / count if count else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self._group.counters())
+        with self._observe_lock:
+            return dict(self._group.counters())

@@ -1,0 +1,706 @@
+"""Adaptive experiments on the service: successive halving over a space.
+
+The fixed-grid machinery (``experiments``, ``sweep``) enumerates every
+point of a parameter matrix at full length.  The paper's flagship
+Fig. 5/7-style studies are really *searches* over that matrix — most
+grid points exist only to be ruled out — so this module turns a
+submitted parameter **space** into rounds of batched jobs driven
+through the live :class:`~repro.serve.service.SimulationService`:
+
+* an :class:`ExperimentSpace` is ``workloads × prefetchers × knob
+  grids`` over a shared base spec (seed, scale, system, replacement,
+  ...), enumerated deterministically via
+  :func:`repro.sim.sweep.expand_grid`;
+* a :class:`HalvingSchedule` stretches instruction budgets
+  geometrically from a cheap short-trace *screen* up to the full run
+  length; after each rung only the top ``1/eta`` fraction of candidates
+  (ranked by the :class:`Objective` — IPC, coverage, MPKI, ...) is
+  promoted, Hyperband-style, with an optional absolute ``cutoff`` for
+  per-round early stopping;
+* every round's jobs ride the ordinary service path — priority queue,
+  in-flight dedup, retries, circuit breaker — and the **full-length**
+  jobs of the final rung are byte-identical to directly-submitted
+  :class:`~repro.sim.executor.SimJob`\\ s (same digests), so their
+  results land in, and re-submissions are answered by, the shared
+  :class:`~repro.sim.executor.ResultCache`;
+* progress streams through the service's ``/metrics`` StatGroup
+  (``serve.experiments.*`` counters + a per-round latency histogram)
+  and ``GET /experiments/<id>`` returns the live round-by-round record.
+
+Screen-rung jobs scale the warmup window proportionally
+(:meth:`SimJob.with_instructions`), so a short trace measures the same
+*shape* of run; the final rung uses the base spec's params untouched —
+that exactness is what makes the digest/cache guarantees above hold.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.sim.executor import SimJob
+from repro.sim.results import SimResult
+from repro.sim.sweep import expand_grid
+from repro.serve.jobs import (
+    JobRecord,
+    JobState,
+    job_from_wire,
+    job_to_wire,
+    new_job_id,
+)
+from repro.serve.metrics import LatencyHistogram
+
+#: a submitted space larger than this is refused outright — an adaptive
+#: search that starts by enumerating a hundred thousand screens is a
+#: grid sweep wearing a costume (and a daemon-sized memory bill)
+MAX_POINTS = 4096
+
+#: objective metrics -> (SimResult attribute, natural direction)
+OBJECTIVE_METRICS: Dict[str, Tuple[str, str]] = {
+    "ipc": ("throughput", "max"),  # system IPC == summed per-core IPCs
+    "throughput": ("throughput", "max"),
+    "coverage": ("coverage", "max"),
+    "accuracy": ("accuracy", "max"),
+    "mpki": ("mpki", "min"),
+    "overprediction": ("overprediction", "min"),
+}
+
+
+class OrchestrationError(RuntimeError):
+    """An experiment could not run to completion."""
+
+
+class ExperimentState(str, Enum):
+    """Lifecycle of a submitted experiment."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (ExperimentState.DONE, ExperimentState.FAILED)
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What to optimise, and in which direction.
+
+    ``mode`` defaults to the metric's natural direction (``mpki`` and
+    ``overprediction`` minimise, everything else maximises); passing it
+    explicitly lets a study invert a metric on purpose.
+    """
+
+    metric: str = "ipc"
+    mode: str = ""
+
+    def __post_init__(self) -> None:
+        if self.metric not in OBJECTIVE_METRICS:
+            raise ValueError(
+                f"unknown objective metric {self.metric!r}; "
+                f"choose from {sorted(OBJECTIVE_METRICS)}"
+            )
+        if self.mode not in ("", "max", "min"):
+            raise ValueError(
+                f"objective mode must be 'max' or 'min', got {self.mode!r}"
+            )
+
+    @property
+    def direction(self) -> str:
+        return self.mode or OBJECTIVE_METRICS[self.metric][1]
+
+    def score(self, result: SimResult) -> float:
+        return float(getattr(result, OBJECTIVE_METRICS[self.metric][0]))
+
+    def sort_key(self, score: float) -> float:
+        """Ascending sort on this key puts the *best* score first."""
+        return -score if self.direction == "max" else score
+
+    def meets(self, score: float, cutoff: Optional[float]) -> bool:
+        """Does ``score`` clear the early-stop bar (when one is set)?"""
+        if cutoff is None:
+            return True
+        return score >= cutoff if self.direction == "max" else score <= cutoff
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"metric": self.metric, "mode": self.direction}
+
+
+@dataclass(frozen=True)
+class HalvingSchedule:
+    """Successive-halving budgets: screen cheap, promote, finish full.
+
+    Rungs grow geometrically by ``eta`` from ``screen_instructions``
+    until they reach ``full_instructions`` (the last rung is always
+    exactly the full budget); after every non-final rung the top
+    ``ceil(n / eta)`` candidates (never fewer than ``min_keep``)
+    promote.  ``cutoff`` adds absolute per-round early stopping: a
+    candidate whose score fails the bar is dropped even inside the keep
+    fraction — though the single best candidate always survives, so an
+    experiment always produces a winner.
+    """
+
+    screen_instructions: int = 2_000
+    full_instructions: int = 20_000
+    eta: float = 2.0
+    min_keep: int = 1
+    cutoff: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.screen_instructions < 1:
+            raise ValueError("screen_instructions must be >= 1")
+        if self.full_instructions < self.screen_instructions:
+            raise ValueError(
+                "full_instructions must be >= screen_instructions "
+                f"({self.full_instructions} < {self.screen_instructions})"
+            )
+        if self.eta <= 1.0:
+            raise ValueError(f"eta must be > 1, got {self.eta}")
+        if self.min_keep < 1:
+            raise ValueError(f"min_keep must be >= 1, got {self.min_keep}")
+
+    def rungs(self) -> List[int]:
+        """Instruction budgets per round, ending exactly at full length."""
+        rungs: List[int] = []
+        budget = self.screen_instructions
+        while budget < self.full_instructions:
+            rungs.append(budget)
+            budget = max(budget + 1, int(budget * self.eta))
+        rungs.append(self.full_instructions)
+        return rungs
+
+    def keep(self, candidates: int) -> int:
+        """How many of ``candidates`` promote out of a non-final round."""
+        return min(candidates, max(self.min_keep, math.ceil(candidates / self.eta)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "screen": self.screen_instructions,
+            "full": self.full_instructions,
+            "eta": self.eta,
+            "min_keep": self.min_keep,
+            "cutoff": self.cutoff,
+            "rungs": self.rungs(),
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentSpace:
+    """The search space: axes over workloads, prefetchers, and knobs.
+
+    ``knobs`` are prefetcher keyword axes (``(("degree", (1, 2, 4)),
+    ...)``); ``base`` is the shared wire-format job spec every point
+    inherits (``warmup``, ``seed``, ``scale``, ``system``,
+    ``replacement``, ...).  ``base`` must not carry ``instructions`` —
+    the halving schedule owns the budget — nor the axis fields.
+    """
+
+    workloads: Tuple[str, ...]
+    prefetchers: Tuple[str, ...] = ("bingo",)
+    knobs: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    base: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("experiment space needs at least one workload")
+        if not self.prefetchers:
+            raise ValueError("experiment space needs at least one prefetcher")
+        for name, values in self.knobs:
+            if not values:
+                raise ValueError(f"knob axis {name!r} has no values")
+        forbidden = {"workload", "prefetcher", "instructions"} & set(self.base)
+        if forbidden:
+            raise ValueError(
+                f"base spec must not set {sorted(forbidden)}: the space "
+                "axes and the halving schedule own those fields"
+            )
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Every point as a wire-format job spec (minus ``instructions``).
+
+        Deterministic odometer order: workloads outermost, then
+        prefetchers, then knob axes with the last axis varying fastest —
+        the same order :func:`expand_grid` gives a fixed sweep, so point
+        indices are stable across the orchestrator, logs, and clients.
+        """
+        combos = expand_grid({name: values for name, values in self.knobs})
+        out: List[Dict[str, Any]] = []
+        for workload in self.workloads:
+            for prefetcher in self.prefetchers:
+                for combo in combos:
+                    spec = dict(self.base)
+                    spec["workload"] = workload
+                    spec["prefetcher"] = prefetcher
+                    kwargs = dict(self.base.get("prefetcher_kwargs") or {})
+                    kwargs.update(combo)
+                    if kwargs:
+                        spec["prefetcher_kwargs"] = kwargs
+                    out.append(spec)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workloads": list(self.workloads),
+            "prefetchers": list(self.prefetchers),
+            "knobs": {name: list(values) for name, values in self.knobs},
+            "base": dict(self.base),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Wire-format parsers (the ``POST /experiments`` body)
+# ---------------------------------------------------------------------------
+
+
+def _names(payload: Any, what: str) -> Tuple[str, ...]:
+    if isinstance(payload, str):
+        payload = [payload]
+    if not isinstance(payload, (list, tuple)) or not all(
+        isinstance(item, str) and item for item in payload
+    ):
+        raise ValueError(f"{what} must be a name or a list of names")
+    return tuple(payload)
+
+
+def space_from_wire(payload: Any) -> ExperimentSpace:
+    """Build an :class:`ExperimentSpace` from the POST body's ``space``."""
+    if not isinstance(payload, dict):
+        raise ValueError("'space' must be an object")
+    unknown = set(payload) - {"workloads", "prefetchers", "knobs", "base"}
+    if unknown:
+        raise ValueError(f"unknown space field(s): {sorted(unknown)}")
+    if "workloads" not in payload:
+        raise ValueError("'space' needs a 'workloads' list")
+    knobs_payload = payload.get("knobs") or {}
+    if not isinstance(knobs_payload, dict):
+        raise ValueError("'knobs' must be an object of value lists")
+    knobs = []
+    for name, values in knobs_payload.items():
+        if not isinstance(values, (list, tuple)):
+            raise ValueError(f"knob {name!r} must map to a list of values")
+        knobs.append((str(name), tuple(values)))
+    base = payload.get("base") or {}
+    if not isinstance(base, dict):
+        raise ValueError("'base' must be an object")
+    kwargs: Dict[str, Any] = {
+        "workloads": _names(payload["workloads"], "'workloads'"),
+        "knobs": tuple(knobs),
+        "base": dict(base),
+    }
+    if "prefetchers" in payload:
+        kwargs["prefetchers"] = _names(payload["prefetchers"], "'prefetchers'")
+    return ExperimentSpace(**kwargs)
+
+
+def schedule_from_wire(payload: Any) -> HalvingSchedule:
+    if payload is None:
+        return HalvingSchedule()
+    if not isinstance(payload, dict):
+        raise ValueError("'schedule' must be an object")
+    known = {"screen", "full", "eta", "min_keep", "cutoff"}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown schedule field(s): {sorted(unknown)}")
+    try:
+        return HalvingSchedule(
+            screen_instructions=int(payload.get("screen", 2_000)),
+            full_instructions=int(payload.get("full", 20_000)),
+            eta=float(payload.get("eta", 2.0)),
+            min_keep=int(payload.get("min_keep", 1)),
+            cutoff=(
+                None
+                if payload.get("cutoff") is None
+                else float(payload["cutoff"])
+            ),
+        )
+    except TypeError as exc:
+        raise ValueError(f"bad schedule value: {exc}") from None
+
+
+def objective_from_wire(payload: Any) -> Objective:
+    if payload is None:
+        return Objective()
+    if isinstance(payload, str):
+        return Objective(metric=payload)
+    if not isinstance(payload, dict):
+        raise ValueError("'objective' must be a metric name or an object")
+    unknown = set(payload) - {"metric", "mode"}
+    if unknown:
+        raise ValueError(f"unknown objective field(s): {sorted(unknown)}")
+    return Objective(
+        metric=str(payload.get("metric", "ipc")),
+        mode=str(payload.get("mode", "")),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's service-side state (mutated by its runner thread)."""
+
+    space: ExperimentSpace
+    schedule: HalvingSchedule
+    objective: Objective
+    id: str = field(default_factory=new_job_id)
+    priority: int = 0
+    state: ExperimentState = ExperimentState.PENDING
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: wire-format point specs (no ``instructions``), index == point id
+    points: List[Dict[str, Any]] = field(default_factory=list)
+    #: per-round reports, appended as rounds complete
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
+    winner: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def to_dict(self, include_rounds: bool = True) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state.value,
+            "priority": self.priority,
+            "objective": self.objective.to_dict(),
+            "schedule": self.schedule.to_dict(),
+            "space": self.space.to_dict(),
+            "points": len(self.points),
+            "rounds_completed": len(self.rounds),
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "winner": self.winner,
+            "error": self.error,
+        }
+        if include_rounds:
+            out["rounds"] = list(self.rounds)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The orchestrator
+# ---------------------------------------------------------------------------
+
+
+class ExperimentOrchestrator:
+    """Drives experiments as rounds of batched jobs through one service.
+
+    One daemon thread per experiment: it submits a rung's jobs through
+    :meth:`SimulationService.submit` (so dedup, retries, the breaker,
+    and the shared caches all apply), polls the returned records to
+    terminal states, ranks the survivors, and promotes.  All shared
+    state (`_experiments`, record mutation) is guarded by one lock;
+    counters ride the service's StatGroup under ``experiments.*`` using
+    the service's own metrics lock.
+    """
+
+    #: poll period while waiting for a round's jobs (in-process records)
+    POLL_SECONDS = 0.02
+
+    def __init__(self, service: "Any") -> None:  # SimulationService
+        self._service = service
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._experiments: Dict[str, ExperimentRecord] = {}
+        self._threads: Dict[str, threading.Thread] = {}
+        self._stats = service.stats.child("experiments")
+        self._stats_lock = service._metrics_lock
+        self._round_latency = LatencyHistogram(self._stats, "round")
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        space: ExperimentSpace,
+        schedule: Optional[HalvingSchedule] = None,
+        objective: Optional[Objective] = None,
+        priority: int = 0,
+    ) -> ExperimentRecord:
+        """Validate, register, and start one experiment; returns its record.
+
+        Every point is expanded and compiled into its *full-length*
+        :class:`SimJob` up front, so a malformed spec anywhere in the
+        space fails the submission (a 400, not a half-run experiment).
+        Raises ``RuntimeError`` while the service is draining.
+        """
+        if self._stopping.is_set() or self._service.draining:
+            raise RuntimeError("service is draining; experiment refused")
+        schedule = schedule if schedule is not None else HalvingSchedule()
+        objective = objective if objective is not None else Objective()
+        record = ExperimentRecord(
+            space=space,
+            schedule=schedule,
+            objective=objective,
+            priority=priority,
+        )
+        record.points = space.points()
+        if len(record.points) > MAX_POINTS:
+            raise ValueError(
+                f"space expands to {len(record.points)} points "
+                f"(max {MAX_POINTS}); shrink an axis"
+            )
+        full_jobs = [
+            self._full_job(point, schedule) for point in record.points
+        ]
+        with self._lock:
+            self._experiments[record.id] = record
+            thread = threading.Thread(
+                target=self._run,
+                args=(record, full_jobs),
+                name=f"experiment-{record.id}",
+                daemon=True,
+            )
+            self._threads[record.id] = thread
+        self._count("submitted")
+        thread.start()
+        return record
+
+    @staticmethod
+    def _full_job(point: Dict[str, Any], schedule: HalvingSchedule) -> SimJob:
+        """The point's full-length job — byte-identical to a direct build."""
+        spec = dict(point)
+        spec["instructions"] = schedule.full_instructions
+        if "warmup" not in spec:
+            # job_from_wire's absolute default (20k) can exceed a short
+            # full budget; default proportionally instead
+            spec["warmup"] = schedule.full_instructions // 5
+        return job_from_wire(spec)
+
+    # -- introspection ------------------------------------------------------
+    def get(self, experiment_id: str) -> Optional[ExperimentRecord]:
+        with self._lock:
+            return self._experiments.get(experiment_id)
+
+    def records(self) -> List[ExperimentRecord]:
+        """All experiments, newest first."""
+        with self._lock:
+            return sorted(
+                self._experiments.values(),
+                key=lambda record: record.created_at,
+                reverse=True,
+            )
+
+    def state_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for record in self._experiments.values():
+                counts[record.state.value] = counts.get(record.state.value, 0) + 1
+        return counts
+
+    # -- shutdown -----------------------------------------------------------
+    def stop(self, timeout: float = 10.0) -> None:
+        """Abort running experiments (drain path); idempotent."""
+        self._stopping.set()
+        with self._lock:
+            threads = list(self._threads.values())
+        deadline = time.monotonic() + timeout
+        for thread in threads:
+            thread.join(max(0.1, deadline - time.monotonic()))
+
+    # -- the runner thread --------------------------------------------------
+    def _run(self, record: ExperimentRecord, full_jobs: List[SimJob]) -> None:
+        with self._lock:
+            record.state = ExperimentState.RUNNING
+            record.started_at = time.time()
+        try:
+            self._drive(record, full_jobs)
+        except OrchestrationError as exc:
+            self._fail(record, str(exc))
+        except Exception as exc:  # defensive: a bug must surface, not hang
+            self._fail(record, f"{type(exc).__name__}: {exc}")
+
+    def _fail(self, record: ExperimentRecord, message: str) -> None:
+        with self._lock:
+            record.state = ExperimentState.FAILED
+            record.error = message
+            record.finished_at = time.time()
+        self._count("failed")
+
+    def _drive(self, record: ExperimentRecord, full_jobs: List[SimJob]) -> None:
+        survivors = list(range(len(full_jobs)))
+        rungs = record.schedule.rungs()
+        winner: Optional[Tuple[int, float, JobRecord]] = None
+        for round_index, budget in enumerate(rungs):
+            final = round_index == len(rungs) - 1
+            if not final and len(survivors) == 1:
+                # nothing left to screen; jump straight to full length
+                self._count("rungs_skipped")
+                continue
+            started = time.monotonic()
+            scored, report = self._run_round(
+                record, survivors, budget, round_index, full_jobs, final
+            )
+            with self._stats_lock:
+                self._stats.add("rounds")
+            self._round_latency.observe(time.monotonic() - started)
+            if not scored:
+                with self._lock:
+                    record.rounds.append(report)
+                raise OrchestrationError(
+                    f"round {round_index}: every candidate failed"
+                )
+            if final:
+                promoted = scored[:1]
+                winner = scored[0]
+            else:
+                promoted = self._promote(record, scored)
+            report["promoted"] = [index for index, _, _ in promoted]
+            with self._lock:
+                record.rounds.append(report)
+            survivors = [index for index, _, _ in promoted]
+
+        assert winner is not None  # rungs() always ends with the full rung
+        index, score, job_record = winner
+        with self._lock:
+            record.winner = {
+                "point": index,
+                "spec": job_to_wire(full_jobs[index]),
+                "instructions": record.schedule.full_instructions,
+                "score": score,
+                "metric": record.objective.metric,
+                "mode": record.objective.direction,
+                "digest": job_record.digest,
+                "job_id": job_record.id,
+            }
+            record.state = ExperimentState.DONE
+            record.finished_at = time.time()
+        self._count("completed")
+
+    def _promote(
+        self,
+        record: ExperimentRecord,
+        scored: List[Tuple[int, float, JobRecord]],
+    ) -> List[Tuple[int, float, JobRecord]]:
+        """Top keep-fraction, then the absolute cutoff (best always lives)."""
+        keep = record.schedule.keep(len(scored))
+        promoted = scored[:keep]
+        cutoff = record.schedule.cutoff
+        if cutoff is not None:
+            passing = [
+                entry
+                for entry in promoted
+                if record.objective.meets(entry[1], cutoff)
+            ]
+            dropped = len(promoted) - len(passing)
+            if dropped:
+                self._count("early_stopped", dropped)
+            promoted = passing or promoted[:1]
+        self._count("promotions", len(promoted))
+        return promoted
+
+    def _run_round(
+        self,
+        record: ExperimentRecord,
+        survivors: Sequence[int],
+        budget: int,
+        round_index: int,
+        full_jobs: List[SimJob],
+        final: bool,
+    ) -> Tuple[List[Tuple[int, float, JobRecord]], Dict[str, Any]]:
+        """Submit one rung's jobs, await them, rank the completions.
+
+        Returns ``(scored, report)`` where ``scored`` is best-first
+        ``(point_index, score, job_record)`` — ties broken by point
+        index, so ranking is deterministic — and ``report`` is the
+        JSON-ready round summary (without ``promoted``, which the
+        caller fills in).
+        """
+        from repro.serve.service import QuarantinedError
+
+        job_records: Dict[int, Optional[JobRecord]] = {}
+        for index in survivors:
+            job = (
+                full_jobs[index]
+                if final
+                else full_jobs[index].with_instructions(budget)
+            )
+            try:
+                job_record, deduped = self._service.submit(
+                    job, priority=record.priority
+                )
+            except QuarantinedError:
+                job_records[index] = None
+                self._count("points_quarantined")
+                continue
+            except RuntimeError as exc:  # queue closed: draining
+                raise OrchestrationError(f"submission refused: {exc}") from None
+            job_records[index] = job_record
+            self._count("jobs_submitted")
+            if deduped:
+                self._count("jobs_deduped")
+
+        pending = [jr for jr in job_records.values() if jr is not None]
+        while any(not jr.state.terminal for jr in pending):
+            if self._stopping.is_set():
+                raise OrchestrationError("orchestrator stopped (draining)")
+            time.sleep(self.POLL_SECONDS)
+
+        scored: List[Tuple[int, float, JobRecord]] = []
+        entries: List[Dict[str, Any]] = []
+        failed = 0
+        for index in survivors:
+            job_record = job_records[index]
+            entry: Dict[str, Any] = {
+                "point": index,
+                "workload": record.points[index]["workload"],
+                "prefetcher": record.points[index].get("prefetcher", "none"),
+                "knobs": dict(
+                    record.points[index].get("prefetcher_kwargs") or {}
+                ),
+            }
+            if job_record is None:
+                entry.update(state="quarantined", score=None)
+                failed += 1
+            elif job_record.state is JobState.DONE:
+                score = record.objective.score(job_record.result)
+                entry.update(
+                    state="done",
+                    score=score,
+                    job_id=job_record.id,
+                    digest=job_record.digest,
+                )
+                scored.append((index, score, job_record))
+            else:
+                entry.update(
+                    state=job_record.state.value,
+                    score=None,
+                    job_id=job_record.id,
+                    error=job_record.error,
+                )
+                failed += 1
+            entries.append(entry)
+        if failed:
+            self._count("points_failed", failed)
+
+        scored.sort(
+            key=lambda item: (record.objective.sort_key(item[1]), item[0])
+        )
+        entries.sort(
+            key=lambda entry: (
+                entry["score"] is None,
+                record.objective.sort_key(entry["score"])
+                if entry["score"] is not None
+                else 0.0,
+                entry["point"],
+            )
+        )
+        report = {
+            "round": round_index,
+            "instructions": budget,
+            "final": final,
+            "candidates": len(survivors),
+            "completed": len(scored),
+            "failed": failed,
+            "results": entries,
+        }
+        return scored, report
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._stats.add(counter, amount)

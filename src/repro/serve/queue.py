@@ -14,6 +14,10 @@ worker slots (consumers).  Three properties matter:
 * **backoff gating** — a record re-queued with a delay (the
   supervisor's retry path) is invisible to consumers until its
   ``not_before`` instant, without blocking other ready work behind it.
+  Gated records live in their own ``not_before``-keyed heap, so a
+  consumer popping ready work never touches them: a queue with a
+  thousand records in backoff still pops in ``O(log ready)``, and a
+  gated record costs one promotion when its instant arrives.
 
 Persistence (:meth:`persist` / :meth:`restore`) covers the drain
 contract: SIGTERM writes every non-terminal record to one JSON file;
@@ -51,8 +55,12 @@ class JobQueue:
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._seq = itertools.count()
-        #: (-priority, seq, record_id); lazily dropped when no longer pending
+        #: ready entries (-priority, seq, record_id); lazily dropped when
+        #: no longer pending
         self._heap: List[Tuple[int, int, str]] = []
+        #: backoff-gated entries (not_before, -priority, seq, record_id);
+        #: promoted into ``_heap`` when their instant arrives
+        self._gated: List[Tuple[float, int, int, str]] = []
         self._records: "Dict[str, JobRecord]" = {}
         #: digest -> id of the in-flight record to dedup against
         self._in_flight: Dict[str, str] = {}
@@ -89,9 +97,20 @@ class JobQueue:
             record.state = JobState.PENDING
             record.not_before = self._clock() + max(0.0, delay)
             self._in_flight[record.digest] = record.id
-            heapq.heappush(
-                self._heap, (-record.priority, next(self._seq), record.id)
-            )
+            if delay > 0:
+                heapq.heappush(
+                    self._gated,
+                    (
+                        record.not_before,
+                        -record.priority,
+                        next(self._seq),
+                        record.id,
+                    ),
+                )
+            else:
+                heapq.heappush(
+                    self._heap, (-record.priority, next(self._seq), record.id)
+                )
             # wake even if gated: the consumer recomputes its wait
             self._ready.notify()
 
@@ -128,25 +147,46 @@ class JobQueue:
                 self._ready.wait(min(waits) if waits else None)
 
     def _scan_locked(self) -> Tuple[Optional[JobRecord], Optional[float]]:
-        """Next ready record + the nearest gated ``not_before``, if any."""
+        """Next ready record + the nearest gated ``not_before``, if any.
+
+        Ripe gated entries are promoted into the ready heap first; the
+        ready scan itself never visits gated entries, so a deep backoff
+        backlog does not tax every ``pop``.
+        """
         now = self._clock()
-        deferred: List[Tuple[int, int, str]] = []
+        while self._gated and self._gated[0][0] <= now:
+            _, neg_priority, seq, record_id = heapq.heappop(self._gated)
+            record = self._records.get(record_id)
+            if record is None or record.state is not JobState.PENDING:
+                continue  # stale entry (deduped away, already popped, ...)
+            heapq.heappush(self._heap, (neg_priority, seq, record_id))
+
         found: Optional[JobRecord] = None
-        nearest: Optional[float] = None
         while self._heap:
             entry = heapq.heappop(self._heap)
             record = self._records.get(entry[2])
             if record is None or record.state is not JobState.PENDING:
-                continue  # stale entry (deduped away, already popped, ...)
+                continue
             if record.not_before > now:
-                deferred.append(entry)
-                if nearest is None or record.not_before < nearest:
-                    nearest = record.not_before
+                # a ready entry whose record was re-gated out of band;
+                # move it where it belongs instead of busy-rescanning it
+                heapq.heappush(
+                    self._gated,
+                    (record.not_before, entry[0], entry[1], entry[2]),
+                )
                 continue
             found = record
             break
-        for entry in deferred:
-            heapq.heappush(self._heap, entry)
+
+        nearest: Optional[float] = None
+        while self._gated:
+            top = self._gated[0]
+            record = self._records.get(top[3])
+            if record is None or record.state is not JobState.PENDING:
+                heapq.heappop(self._gated)  # stale; drop eagerly
+                continue
+            nearest = top[0]
+            break
         return found, nearest
 
     # -- completion bookkeeping --------------------------------------------
@@ -228,7 +268,19 @@ class JobQueue:
         count.  The file is consumed (deleted) so a crash loop cannot
         double-submit.  A corrupt or schema-mismatched file restores
         nothing — mirroring every other cache in this codebase, a torn
-        file is an empty file."""
+        file is an empty file.
+
+        A queue that is already closed (a drain raced the daemon start)
+        restores nothing and deliberately leaves the file *intact* for
+        the next start — crashing the daemon out of ``submit`` here
+        would turn a benign shutdown race into a boot loop.  If the
+        close lands mid-restore instead, the records submitted so far
+        are kept and the remainder of the already-consumed file is
+        dropped; the following drain persists whatever was accepted.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
         path = Path(path)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -251,6 +303,9 @@ class JobQueue:
                 continue  # one bad record must not sink the rest
             record.state = JobState.PENDING
             record.not_before = 0.0
-            self.submit(record)
+            try:
+                self.submit(record)
+            except RuntimeError:  # closed mid-restore
+                break
             restored += 1
         return restored

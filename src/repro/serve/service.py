@@ -36,6 +36,13 @@ from repro.sim.executor import Executor, JobFailure, ResultCache, SimJob
 from repro.sim.results import SimResult
 from repro.serve.jobs import JobRecord, JobState
 from repro.serve.metrics import LatencyHistogram
+from repro.serve.orchestrate import (
+    ExperimentOrchestrator,
+    ExperimentRecord,
+    ExperimentSpace,
+    HalvingSchedule,
+    Objective,
+)
 from repro.serve.queue import JobQueue
 from repro.serve.supervisor import CircuitBreaker, RetryPolicy, Supervisor
 
@@ -118,6 +125,9 @@ class SimulationService:
         self._stopping = threading.Event()
         self._drained = threading.Event()
         self._started = False
+        #: adaptive experiments driver (successive halving over a space);
+        #: shares this service's queue, caches, breaker, and metrics tree
+        self.orchestrator = ExperimentOrchestrator(self)
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "SimulationService":
@@ -150,6 +160,10 @@ class SimulationService:
         Idempotent; safe to call from a signal-initiated thread.
         """
         self._stopping.set()
+        # Abort experiment runner threads *before* closing the queue:
+        # they bail at their next poll tick instead of wedging the
+        # drain waiting on jobs that will never be popped.
+        self.orchestrator.stop(timeout=min(5.0, timeout))
         self.queue.close()
         deadline = self._clock() + timeout
         for thread in self._threads:
@@ -266,6 +280,30 @@ class SimulationService:
         with self._metrics_lock:
             self.stats.add(counter, amount)
 
+    # -- experiments --------------------------------------------------------
+    def submit_experiment(
+        self,
+        space: ExperimentSpace,
+        schedule: Optional[HalvingSchedule] = None,
+        objective: Optional[Objective] = None,
+        priority: int = 0,
+    ) -> ExperimentRecord:
+        """Start an adaptive search over ``space``; returns its record.
+
+        See :mod:`repro.serve.orchestrate` — rounds of screens promote
+        the top fraction to full length via successive halving, all
+        through this service's ordinary job path.
+        """
+        return self.orchestrator.submit(
+            space, schedule=schedule, objective=objective, priority=priority
+        )
+
+    def get_experiment(self, experiment_id: str) -> Optional[ExperimentRecord]:
+        return self.orchestrator.get(experiment_id)
+
+    def experiments(self) -> List[ExperimentRecord]:
+        return self.orchestrator.records()
+
     # -- introspection ------------------------------------------------------
     def get(self, job_id: str) -> Optional[JobRecord]:
         return self.queue.get(job_id)
@@ -299,6 +337,7 @@ class SimulationService:
             "queue_depth": counts.get("pending", 0),
             "in_flight": counts.get("running", 0),
             "jobs_by_state": counts,
+            "experiments_by_state": self.orchestrator.state_counts(),
             "breaker_open_digests": self.supervisor.breaker.open_digests,
             "executor_totals": totals,
             "counters": tree,

@@ -34,7 +34,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     TimeoutError as FutureTimeoutError,
 )
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from enum import Enum
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -228,6 +228,38 @@ class SimJob:
             compile=compile,
             vectorized=vectorized,
             replacement=replacement,
+        )
+
+    def with_instructions(
+        self,
+        instructions_per_core: int,
+        warmup_instructions: Optional[int] = None,
+    ) -> "SimJob":
+        """This job at a different instruction budget (same everything else).
+
+        The orchestrated screening path derives cheap short-trace
+        variants of a full-length job spec this way; because only
+        ``params`` changes, the derived job digests differently from the
+        original while the full-length job stays byte-identical to one
+        built directly.  ``warmup_instructions`` defaults to scaling the
+        current warmup proportionally (and is clamped below the new
+        budget, which :class:`SimulationParams` requires).
+        """
+        if warmup_instructions is None:
+            warmup_instructions = (
+                self.params.warmup_instructions
+                * instructions_per_core
+                // self.params.instructions_per_core
+            )
+        warmup_instructions = max(
+            0, min(warmup_instructions, instructions_per_core - 1)
+        )
+        return replace(
+            self,
+            params=SimulationParams(
+                instructions_per_core=instructions_per_core,
+                warmup_instructions=warmup_instructions,
+            ),
         )
 
     def spec(self) -> Dict[str, object]:

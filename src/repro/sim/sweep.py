@@ -2,13 +2,38 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Union
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.common.config import SystemConfig
 from repro.sim.executor import Executor, ResultCache, SimJob
 from repro.sim.results import SimResult
 from repro.sim.runner import run_simulation
 from repro.workloads.base import Workload
+
+
+def expand_grid(
+    axes: Mapping[str, Sequence[object]]
+) -> List[Dict[str, object]]:
+    """Cartesian product of named value axes, in deterministic order.
+
+    ``{"degree": [1, 2], "threshold": [0.2]}`` expands to
+    ``[{"degree": 1, "threshold": 0.2}, {"degree": 2, "threshold": 0.2}]``;
+    axes iterate in insertion order with the *last* axis varying fastest
+    (odometer order), so grids enumerate reproducibly everywhere — the
+    fixed-grid sweeps here and the adaptive search in
+    :mod:`repro.serve.orchestrate` agree on point indices.  An empty
+    axis mapping is one empty combination; an empty *axis* is an error
+    (it would silently produce zero points).
+    """
+    names = list(axes)
+    for name in names:
+        if not list(axes[name]):
+            raise ValueError(f"grid axis {name!r} has no values")
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(list(axes[name]) for name in names))
+    ]
 
 
 def sweep_prefetcher_parameter(

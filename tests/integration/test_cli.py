@@ -135,9 +135,16 @@ def test_experiment_table1(capsys):
     assert "Table I" in capsys.readouterr().out
 
 
-def test_unknown_experiment_rejected():
-    with pytest.raises(SystemExit):
-        cli.main(["experiment", "fig99"])
+def test_unknown_experiment_rejected(capsys):
+    # no longer an argparse ``choices`` SystemExit: the id became
+    # optional when ``--space`` arrived, so the command validates it
+    assert cli.main(["experiment", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_experiment_without_id_or_space_rejected(capsys):
+    assert cli.main(["experiment"]) == 2
+    assert "--space" in capsys.readouterr().err
 
 
 def test_check_command(capsys):

@@ -178,6 +178,97 @@ class TestBadRequests:
         assert status == 404
 
 
+def space_payload(**overrides):
+    space = {
+        "workloads": ["streaming"],
+        "prefetchers": ["none"],
+        "base": {
+            "seed": 7,
+            "scale": 0.02,
+            "compile": False,
+            "warmup": 0,
+            "system": dataclasses.asdict(small_system(num_cores=4)),
+        },
+    }
+    space.update(overrides)
+    return space
+
+
+class TestExperimentRoutes:
+    def test_submit_and_fetch_experiment(self, api):
+        # worker slots are not started, so the experiment stays live —
+        # these tests exercise the routes, not the halving (that is
+        # test_orchestrate.py's job)
+        _, client, _, _ = api
+        accepted = client.submit_experiment(
+            space_payload(), schedule={"screen": 500, "full": 1000}
+        )
+        assert accepted["points"] == 1
+        assert accepted["rungs"] == [500, 1000]
+        record = client.experiment(accepted["id"])
+        assert record["id"] == accepted["id"]
+        assert record["state"] in ("pending", "running")
+        assert record["objective"] == {"metric": "ipc", "mode": "max"}
+        assert "rounds" in record
+
+    def test_experiment_listing_summarises(self, api):
+        _, client, _, _ = api
+        accepted = client.submit_experiment(space_payload())
+        summaries = client.experiments()
+        assert [s["id"] for s in summaries] == [accepted["id"]]
+        assert "rounds" not in summaries[0], "listing omits round detail"
+        assert summaries[0]["points"] == 1
+
+    def test_unknown_experiment_404(self, api):
+        _, client, _, _ = api
+        with pytest.raises(ServiceError) as excinfo:
+            client.experiment("does-not-exist")
+        assert excinfo.value.status == 404
+
+    def test_missing_space_400(self, api):
+        _, _, host, port = api
+        status, body = raw_post(host, port, "/experiments", b"{}")
+        assert status == 400
+        assert "space" in body["error"]
+
+    def test_malformed_space_400(self, api):
+        _, client, _, _ = api
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_experiment({"prefetchers": ["none"]})
+        assert excinfo.value.status == 400
+        assert "workloads" in str(excinfo.value)
+
+    def test_unknown_objective_400(self, api):
+        _, client, _, _ = api
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_experiment(space_payload(), objective="bogosity")
+        assert excinfo.value.status == 400
+
+    def test_base_owning_instructions_400(self, api):
+        _, client, _, _ = api
+        space = space_payload()
+        space["base"]["instructions"] = 5000
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_experiment(space)
+        assert excinfo.value.status == 400
+        assert "instructions" in str(excinfo.value)
+
+    def test_bad_base_spec_fails_submission_400(self, api):
+        _, client, _, _ = api
+        space = space_payload()
+        space["base"]["bogus_knob"] = 1
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_experiment(space)
+        assert excinfo.value.status == 400, "specs validate at submit time"
+
+    def test_submit_experiment_while_draining_503(self, api):
+        service, client, _, _ = api
+        service.drain(timeout=1.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_experiment(space_payload())
+        assert excinfo.value.status == 503
+
+
 class TestDraining:
     def test_submit_while_draining_503(self, api):
         service, client, _, _ = api

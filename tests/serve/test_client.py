@@ -1,0 +1,153 @@
+"""ServiceClient transport: typed errors and jittered poll backoff.
+
+Route/status-code behaviour against the real server lives in
+``test_api.py``; these tests cover the client's own failure handling —
+responses no healthy daemon would send, and the polling loop's timing —
+so they run against a stub HTTP server or a monkeypatched clock.
+"""
+
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.serve import ServiceClient, ServiceError
+from repro.serve import client as client_mod
+
+
+class NonJsonHandler(BaseHTTPRequestHandler):
+    """2xx responses with bodies no JSON parser should meet — the shape
+    an interposed proxy or a torn response produces."""
+
+    def do_GET(self) -> None:  # noqa: N802
+        body = b"<html>gateway interposed</html>" + b"x" * 500
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        pass
+
+
+@pytest.fixture
+def non_json_server():
+    server = HTTPServer(("127.0.0.1", 0), NonJsonHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(5.0)
+
+
+class TestNonJsonBody:
+    def test_2xx_html_raises_typed_service_error(self, non_json_server):
+        """Regression: a 2xx with a non-JSON body used to escape as the
+        JSON parser's bare ``ValueError`` — callers catching
+        ``ServiceError`` (every CLI path) crashed instead of reporting."""
+        host, port = non_json_server
+        client = ServiceClient(f"http://{host}:{port}", timeout=5.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 200
+        assert "non-JSON" in str(excinfo.value)
+        assert "gateway interposed" in str(excinfo.value)
+
+    def test_body_snippet_is_truncated(self, non_json_server):
+        host, port = non_json_server
+        client = ServiceClient(f"http://{host}:{port}", timeout=5.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        # 200-byte snippet + quoting/prefix, never the whole body
+        assert len(str(excinfo.value)) < 300
+
+
+class FakeTime:
+    """Deterministic monotonic clock + sleep recorder for _poll tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps = []
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_time(monkeypatch):
+    fake = FakeTime()
+    monkeypatch.setattr(client_mod.time, "monotonic", fake.monotonic)
+    monkeypatch.setattr(client_mod.time, "sleep", fake.sleep)
+    return fake
+
+
+class TestPollBackoff:
+    def test_wait_backs_off_geometrically_with_jitter(
+        self, fake_time, monkeypatch
+    ):
+        """The old fixed 0.25 s poll synchronised waiting clients into
+        bursts; the interval must now grow geometrically (capped) with
+        per-sleep jitter on top."""
+        monkeypatch.setattr(client_mod.random, "random", lambda: 1.0)
+        client = ServiceClient("http://127.0.0.1:1")
+        states = iter(["pending"] * 6 + ["done"])
+        monkeypatch.setattr(
+            client, "status", lambda job_id: {"id": job_id, "state": next(states)}
+        )
+
+        record = client.wait(
+            "j1", timeout=100.0, poll_interval=0.25, max_interval=2.0
+        )
+        assert record["state"] == "done"
+
+        expected, interval = [], 0.25
+        for _ in range(6):
+            expected.append(interval * 1.25)  # random()==1 -> full jitter
+            interval = min(interval * 1.5, 2.0)
+        assert fake_time.sleeps == pytest.approx(expected)
+        assert fake_time.sleeps == sorted(fake_time.sleeps), "must not shrink"
+        assert max(fake_time.sleeps) <= 2.0 * 1.25, "cap + jitter bound"
+
+    def test_sleeps_vary_with_jitter(self, fake_time, monkeypatch):
+        jitters = iter([0.0, 1.0, 0.5, 0.25, 0.75, 0.1])
+        monkeypatch.setattr(
+            client_mod.random, "random", lambda: next(jitters)
+        )
+        client = ServiceClient("http://127.0.0.1:1")
+        states = iter(["pending"] * 6 + ["done"])
+        monkeypatch.setattr(
+            client, "status", lambda job_id: {"id": job_id, "state": next(states)}
+        )
+        client.wait("j1", timeout=100.0, poll_interval=0.25, max_interval=2.0)
+        assert len(set(fake_time.sleeps)) > 1, "jitter must decorrelate"
+
+    def test_wait_timeout_names_last_state(self, fake_time, monkeypatch):
+        monkeypatch.setattr(client_mod.random, "random", lambda: 0.0)
+        client = ServiceClient("http://127.0.0.1:1")
+        monkeypatch.setattr(
+            client, "status", lambda job_id: {"id": job_id, "state": "running"}
+        )
+        with pytest.raises(TimeoutError, match="running"):
+            client.wait("j1", timeout=3.0, poll_interval=0.5)
+        assert fake_time.now <= 3.0 + 0.5, "sleeps are clamped to deadline"
+
+    def test_wait_experiment_polls_same_loop(self, fake_time, monkeypatch):
+        monkeypatch.setattr(client_mod.random, "random", lambda: 0.0)
+        client = ServiceClient("http://127.0.0.1:1")
+        states = iter(["running", "running", "done"])
+        monkeypatch.setattr(
+            client,
+            "experiment",
+            lambda experiment_id: {"id": experiment_id, "state": next(states)},
+        )
+        record = client.wait_experiment("e1", timeout=100.0)
+        assert record["state"] == "done"
+        assert len(fake_time.sleeps) == 2

@@ -1,5 +1,8 @@
 """Latency histograms riding the StatGroup counter tree."""
 
+import sys
+import threading
+
 import pytest
 
 from repro.common.stats import StatGroup
@@ -70,3 +73,58 @@ class TestLatencyHistogram:
             LatencyHistogram(StatGroup("s"), "run", buckets=())
         with pytest.raises(ValueError):
             LatencyHistogram(StatGroup("s"), "run", buckets=(2.0, 1.0))
+
+
+class TestObserveThreadSafety:
+    def test_concurrent_observes_stay_exact_and_coherent(self):
+        """Regression: the histogram's bucket/count/sum updates were bare
+        ``cell.value += 1`` statements with no lock.  Concurrent
+        ThreadingHTTPServer handler threads could drop increments
+        (interpreters that switch mid-statement, e.g. 3.9) and — on any
+        interpreter — a reader could observe the triple mid-update:
+        ``le_*`` bumped but ``count`` not yet, ``count`` bumped but
+        ``sum_seconds`` trailing.  With ``observe``/``as_dict``
+        serialised, every snapshot satisfies the histogram invariants
+        and the final count is exact."""
+        hist = LatencyHistogram(StatGroup("s"), "run", buckets=(1.0,))
+        n_writers, per_thread = 4, 20_000
+        done = threading.Event()
+        violations = []
+
+        def write():
+            for _ in range(per_thread):
+                hist.observe(0.5)
+
+        def read():
+            while not done.is_set():
+                data = hist.as_dict()
+                if data["le_1"] != data["count"]:
+                    violations.append(("bucket", data))
+                    return
+                if data["sum_seconds"] != pytest.approx(0.5 * data["count"]):
+                    violations.append(("sum", data))
+                    return
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            readers = [threading.Thread(target=read) for _ in range(2)]
+            writers = [
+                threading.Thread(target=write) for _ in range(n_writers)
+            ]
+            for thread in readers + writers:
+                thread.start()
+            for thread in writers:
+                thread.join()
+            done.set()
+            for thread in readers:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+
+        assert not violations, f"torn snapshot observed: {violations[0]}"
+        expected = n_writers * per_thread
+        data = hist.as_dict()
+        assert data["count"] == expected
+        assert data["le_1"] == expected
+        assert data["sum_seconds"] == pytest.approx(0.5 * expected)

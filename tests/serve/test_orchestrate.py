@@ -1,0 +1,395 @@
+"""Adaptive experiments: spaces, schedules, and the halving end to end.
+
+The end-to-end class is the acceptance test for the orchestrator: a
+12-point space screened over two halving rounds before the full-length
+rung, with the promoted full-length runs provably *identical* — same
+digests, same result fields, shared result-cache entries — to jobs
+built and submitted directly.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import (
+    ExperimentSpace,
+    ExperimentState,
+    HalvingSchedule,
+    Objective,
+    QuarantinedError,
+    ServiceConfig,
+    SimulationService,
+    job_from_wire,
+    objective_from_wire,
+    schedule_from_wire,
+    space_from_wire,
+)
+from repro.sim.executor import Executor
+
+#: shared base spec: tiny scaled workloads, uncompiled, experiment system
+BASE = {
+    "seed": 7,
+    "scale": 0.02,
+    "compile": False,
+    "warmup": 500,
+    "system": "experiment",
+}
+
+
+class TestObjective:
+    def test_natural_directions(self):
+        assert Objective("ipc").direction == "max"
+        assert Objective("coverage").direction == "max"
+        assert Objective("mpki").direction == "min"
+        assert Objective("overprediction").direction == "min"
+
+    def test_mode_override(self):
+        assert Objective("coverage", mode="min").direction == "min"
+
+    def test_sort_key_orders_best_first(self):
+        maximise = Objective("ipc")
+        assert sorted([1.0, 3.0, 2.0], key=maximise.sort_key) == [3.0, 2.0, 1.0]
+        minimise = Objective("mpki")
+        assert sorted([1.0, 3.0, 2.0], key=minimise.sort_key) == [1.0, 2.0, 3.0]
+
+    def test_cutoff_respects_direction(self):
+        assert Objective("ipc").meets(5.0, cutoff=4.0)
+        assert not Objective("ipc").meets(3.0, cutoff=4.0)
+        assert Objective("mpki").meets(3.0, cutoff=4.0)
+        assert not Objective("mpki").meets(5.0, cutoff=4.0)
+        assert Objective("ipc").meets(0.0, cutoff=None)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            Objective("wattage")
+        with pytest.raises(ValueError, match="mode"):
+            Objective("ipc", mode="sideways")
+
+
+class TestHalvingSchedule:
+    def test_rungs_grow_geometrically_to_full(self):
+        schedule = HalvingSchedule(
+            screen_instructions=1000, full_instructions=8000, eta=2.0
+        )
+        assert schedule.rungs() == [1000, 2000, 4000, 8000]
+
+    def test_last_rung_is_exactly_full(self):
+        schedule = HalvingSchedule(
+            screen_instructions=1000, full_instructions=5000, eta=2.0
+        )
+        assert schedule.rungs() == [1000, 2000, 4000, 5000]
+
+    def test_degenerate_screen_equals_full(self):
+        schedule = HalvingSchedule(
+            screen_instructions=3000, full_instructions=3000
+        )
+        assert schedule.rungs() == [3000]
+
+    def test_keep_fraction(self):
+        schedule = HalvingSchedule(eta=2.0)
+        assert schedule.keep(12) == 6
+        assert schedule.keep(3) == 2  # ceil(3/2)
+        assert schedule.keep(1) == 1
+        assert HalvingSchedule(eta=2.0, min_keep=4).keep(4) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="eta"):
+            HalvingSchedule(eta=1.0)
+        with pytest.raises(ValueError, match="full_instructions"):
+            HalvingSchedule(screen_instructions=100, full_instructions=50)
+        with pytest.raises(ValueError, match="screen_instructions"):
+            HalvingSchedule(screen_instructions=0)
+
+
+class TestExperimentSpace:
+    def test_points_are_the_cartesian_product(self):
+        space = ExperimentSpace(
+            workloads=("streaming", "em3d"),
+            prefetchers=("nextline",),
+            knobs=(("degree", (1, 2, 3)),),
+            base=BASE,
+        )
+        points = space.points()
+        assert len(points) == 6
+        assert points[0]["workload"] == "streaming"
+        assert points[0]["prefetcher_kwargs"] == {"degree": 1}
+        assert points[3]["workload"] == "em3d"
+        assert points[5]["prefetcher_kwargs"] == {"degree": 3}
+
+    def test_base_kwargs_merge_under_knobs(self):
+        space = ExperimentSpace(
+            workloads=("streaming",),
+            prefetchers=("bingo",),
+            knobs=(("vote_threshold", (0.2, 0.5)),),
+            base={"prefetcher_kwargs": {"history_entries": 256}},
+        )
+        points = space.points()
+        assert points[0]["prefetcher_kwargs"] == {
+            "history_entries": 256,
+            "vote_threshold": 0.2,
+        }
+
+    def test_base_must_not_own_axis_fields(self):
+        for forbidden in ("workload", "prefetcher", "instructions"):
+            with pytest.raises(ValueError, match=forbidden):
+                ExperimentSpace(
+                    workloads=("streaming",), base={forbidden: "x"}
+                )
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            ExperimentSpace(workloads=())
+        with pytest.raises(ValueError, match="degree"):
+            ExperimentSpace(
+                workloads=("streaming",), knobs=(("degree", ()),)
+            )
+
+
+class TestWireParsers:
+    def test_space_round_trip(self):
+        space = space_from_wire(
+            {
+                "workloads": ["streaming"],
+                "prefetchers": ["nextline", "bingo"],
+                "knobs": {"degree": [1, 2]},
+                "base": {"seed": 3},
+            }
+        )
+        assert space.workloads == ("streaming",)
+        assert space.prefetchers == ("nextline", "bingo")
+        assert space.knobs == (("degree", (1, 2)),)
+        assert len(space.points()) == 4
+
+    def test_space_accepts_single_names(self):
+        space = space_from_wire({"workloads": "streaming"})
+        assert space.workloads == ("streaming",)
+        assert space.prefetchers == ("bingo",), "default prefetcher"
+
+    def test_space_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="knbos"):
+            space_from_wire({"workloads": ["x"], "knbos": {}})
+
+    def test_schedule_defaults_and_fields(self):
+        assert schedule_from_wire(None) == HalvingSchedule()
+        schedule = schedule_from_wire(
+            {"screen": 100, "full": 400, "eta": 4, "cutoff": 1.5}
+        )
+        assert schedule.screen_instructions == 100
+        assert schedule.full_instructions == 400
+        assert schedule.eta == 4.0
+        assert schedule.cutoff == 1.5
+        with pytest.raises(ValueError, match="fulll"):
+            schedule_from_wire({"fulll": 400})
+
+    def test_objective_forms(self):
+        assert objective_from_wire(None) == Objective()
+        assert objective_from_wire("mpki") == Objective("mpki")
+        assert objective_from_wire(
+            {"metric": "coverage", "mode": "min"}
+        ) == Objective("coverage", mode="min")
+        with pytest.raises(ValueError):
+            objective_from_wire(["ipc"])
+
+
+def wait_experiment(record, timeout: float = 120.0):
+    deadline = time.time() + timeout
+    while not record.state.terminal and time.time() < deadline:
+        time.sleep(0.02)
+    return record
+
+
+@pytest.fixture
+def service():
+    svc = SimulationService(
+        ServiceConfig(workers=2, job_timeout=60.0, cache_dir="")
+    ).start()
+    try:
+        yield svc
+    finally:
+        svc.drain(timeout=10.0)
+
+
+class TestEndToEndHalving:
+    """The acceptance test: 12 points, two screening rounds, then a
+    full-length rung whose jobs are identical to direct submissions."""
+
+    SPACE = ExperimentSpace(
+        workloads=("streaming", "em3d"),
+        prefetchers=("nextline",),
+        knobs=(("degree", (1, 2, 3, 4, 5, 6)),),
+        base=BASE,
+    )
+    SCHEDULE = HalvingSchedule(
+        screen_instructions=750, full_instructions=3000, eta=2.0
+    )
+    OBJECTIVE = Objective("throughput")
+
+    def run_experiment(self, service):
+        record = service.submit_experiment(
+            self.SPACE, schedule=self.SCHEDULE, objective=self.OBJECTIVE
+        )
+        wait_experiment(record)
+        assert record.state is ExperimentState.DONE, record.error
+        return record
+
+    def test_halving_promotes_screens_to_full_length(self, service):
+        record = self.run_experiment(service)
+
+        assert len(record.points) == 12
+        # two short-trace screening rounds, then the full-length rung
+        assert [r["instructions"] for r in record.rounds] == [750, 1500, 3000]
+        assert [r["candidates"] for r in record.rounds] == [12, 6, 3]
+        assert [r["final"] for r in record.rounds] == [False, False, True]
+
+        # each round runs exactly the previous round's promotions
+        for previous, current in zip(record.rounds, record.rounds[1:]):
+            ran = {entry["point"] for entry in current["results"]}
+            assert ran == set(previous["promoted"])
+        assert len(record.rounds[-1]["promoted"]) == 1
+
+        metrics = service.metrics()
+        counters = metrics["counters"]["experiments"]
+        assert counters["rounds"] == 3
+        assert counters["jobs_submitted"] == 12 + 6 + 3
+        assert counters["completed"] == 1
+        assert counters["round"]["count"] == 3, "round latency histogram"
+        assert metrics["experiments_by_state"] == {"done": 1}
+
+    def test_full_length_jobs_identical_to_direct_submissions(self, service):
+        record = self.run_experiment(service)
+
+        final = record.rounds[-1]
+        for entry in final["results"]:
+            direct = job_from_wire(
+                dict(record.points[entry["point"]], instructions=3000)
+            )
+            assert entry["digest"] == direct.digest(), (
+                "the final rung must run the untouched full-length job"
+            )
+            # field-identical to a directly-executed SimJob
+            service_result = service.get(entry["job_id"]).result
+            direct_result = Executor(workers=1, cache=None).run_job(direct)
+            assert service_result.summary() == direct_result.summary()
+
+        # screens are *different* jobs (scaled budget => different digest)
+        screen_digests = {
+            entry["digest"] for entry in record.rounds[0]["results"]
+        }
+        final_digests = {entry["digest"] for entry in final["results"]}
+        assert screen_digests.isdisjoint(final_digests)
+
+    def test_winner_matches_exhaustive_grid_argmax(self, service):
+        record = self.run_experiment(service)
+        hits_before = sum(
+            executor.stats.get("cache_hits")
+            for executor in service._executors
+        )
+
+        # exhaustive: every point at full length, directly submitted
+        full_jobs = [
+            job_from_wire(dict(point, instructions=3000))
+            for point in record.points
+        ]
+        submissions = service.submit_many(full_jobs)
+        deadline = time.time() + 120
+        while any(
+            not job_record.state.terminal for job_record, _ in submissions
+        ) and time.time() < deadline:
+            time.sleep(0.02)
+
+        scores = []
+        for job, (job_record, _) in zip(full_jobs, submissions):
+            assert job_record.state.value == "done", job_record.error
+            scores.append(self.OBJECTIVE.score(job_record.result))
+
+        # the halving winner scores exactly the exhaustive-grid argmax
+        # (score comparison, so co-optimal ties cannot flake the test)
+        assert record.winner["score"] == pytest.approx(max(scores))
+        assert record.winner["metric"] == "throughput"
+        winner_direct = job_from_wire(
+            dict(record.points[record.winner["point"]], instructions=3000)
+        )
+        assert record.winner["digest"] == winner_direct.digest()
+
+        # the rung already ran 3 of these 12 full-length jobs — the
+        # shared ResultCache must answer the re-submissions
+        hits_after = sum(
+            executor.stats.get("cache_hits")
+            for executor in service._executors
+        )
+        assert hits_after - hits_before >= 3
+
+
+class TestOrchestratorFailurePaths:
+    def test_all_points_quarantined_fails_experiment(self, monkeypatch):
+        service = SimulationService(ServiceConfig(workers=1, cache_dir=None))
+
+        def refuse(job, priority=0):
+            raise QuarantinedError("deadbeef" * 8, 30.0)
+
+        monkeypatch.setattr(service, "submit", refuse)
+        record = service.submit_experiment(
+            ExperimentSpace(workloads=("streaming",), base=BASE),
+            schedule=HalvingSchedule(
+                screen_instructions=750, full_instructions=1500
+            ),
+        )
+        wait_experiment(record, timeout=20.0)
+        assert record.state is ExperimentState.FAILED
+        assert "every candidate failed" in record.error
+        assert record.rounds[0]["results"][0]["state"] == "quarantined"
+
+    def test_drain_aborts_running_experiment(self):
+        # workers never started: the round's jobs stay pending forever,
+        # so only the drain path can end this experiment
+        service = SimulationService(ServiceConfig(workers=1, cache_dir=None))
+        record = service.submit_experiment(
+            ExperimentSpace(workloads=("streaming",), base=BASE)
+        )
+        time.sleep(0.1)
+        service.drain(timeout=5.0)
+        wait_experiment(record, timeout=10.0)
+        assert record.state is ExperimentState.FAILED
+        assert "stopped" in record.error or "draining" in record.error
+
+    def test_submit_experiment_while_draining_refused(self):
+        service = SimulationService(ServiceConfig(workers=1, cache_dir=None))
+        service.drain(timeout=1.0)
+        with pytest.raises(RuntimeError, match="draining"):
+            service.submit_experiment(
+                ExperimentSpace(workloads=("streaming",), base=BASE)
+            )
+
+    def test_oversized_space_rejected(self):
+        service = SimulationService(ServiceConfig(workers=1, cache_dir=None))
+        huge = ExperimentSpace(
+            workloads=("streaming",),
+            knobs=(("degree", tuple(range(5000)),),),
+            base=BASE,
+        )
+        with pytest.raises(ValueError, match="points"):
+            service.submit_experiment(huge)
+
+
+class TestScreenJobs:
+    def test_with_instructions_scales_warmup_proportionally(self):
+        job = job_from_wire(dict(BASE, workload="streaming",
+                                 prefetcher="nextline", instructions=3000))
+        screen = job.with_instructions(750)
+        assert screen.params.instructions_per_core == 750
+        assert screen.params.warmup_instructions == 125  # 500 * 750/3000
+        assert screen.digest() != job.digest()
+        # everything else identical
+        assert screen.spec()["workload"] == job.spec()["workload"]
+
+    def test_with_instructions_explicit_warmup(self):
+        job = job_from_wire(dict(BASE, workload="streaming",
+                                 prefetcher="nextline", instructions=3000))
+        screen = job.with_instructions(1000, warmup_instructions=10)
+        assert screen.params.warmup_instructions == 10
+
+    def test_with_instructions_clamps_warmup(self):
+        job = job_from_wire(dict(BASE, workload="streaming",
+                                 prefetcher="nextline", instructions=3000))
+        tiny = job.with_instructions(2)
+        assert 0 <= tiny.params.warmup_instructions < 2

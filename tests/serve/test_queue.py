@@ -208,3 +208,87 @@ class TestPersistence:
         payload["jobs"].append({"id": "broken", "job": {"nope": 1}})
         path.write_text(json.dumps(payload), encoding="utf-8")
         assert JobQueue().restore(path) == 1
+
+    def test_restore_on_closed_queue_is_noop_keeping_file(self, tmp_path):
+        """Regression: a drain racing the daemon start used to crash the
+        boot — ``restore`` fed records into ``submit()``, which raises
+        ``RuntimeError`` once the queue is closed.  A closed queue must
+        restore nothing and leave the drain file *intact* for the next
+        start."""
+        queue = JobQueue()
+        queue.submit(record(seed=1))
+        path = tmp_path / "queue.json"
+        assert queue.persist(path) == 1
+
+        closed = JobQueue()
+        closed.close()
+        assert closed.restore(path) == 0
+        assert closed.state_counts() == {}
+        assert path.exists(), "closed-queue restore must keep the file"
+
+        fresh = JobQueue()
+        assert fresh.restore(path) == 1, "next start still recovers"
+        assert not path.exists()
+
+
+class CountingHeapq:
+    """heapq facade that counts operations (the real functions do the work)."""
+
+    def __init__(self) -> None:
+        self.pushes = 0
+        self.pops = 0
+
+    def heappush(self, heap, item) -> None:
+        self.pushes += 1
+        import heapq
+
+        heapq.heappush(heap, item)
+
+    def heappop(self, heap):
+        self.pops += 1
+        import heapq
+
+        return heapq.heappop(heap)
+
+    def reset(self) -> None:
+        self.pushes = self.pops = 0
+
+    @property
+    def total(self) -> int:
+        return self.pushes + self.pops
+
+
+class TestGatedBacklogScaling:
+    def test_pop_ignores_deep_backoff_backlog(self, monkeypatch):
+        """Perf regression: ``_scan_locked`` used to pop *every* gated
+        entry off the one heap and push it back on *every* ``pop`` call
+        — O(gated · log n) per pop.  Gated records now live in their own
+        ``not_before``-keyed heap, so popping ready work over a
+        1000-record backoff backlog costs O(1) heap operations, not
+        thousands."""
+        import repro.serve.queue as queue_mod
+
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        backlog = 1000
+        for seed in range(backlog):
+            gated, _ = queue.submit(record(seed=seed))
+            assert queue.pop(timeout=0) is gated
+            queue.requeue(gated, delay=60.0)
+
+        counting = CountingHeapq()
+        monkeypatch.setattr(queue_mod, "heapq", counting)
+
+        ready, _ = queue.submit(record(seed=backlog + 1))
+        counting.reset()
+        assert queue.pop(timeout=0) is ready
+        assert counting.total <= 4, (
+            f"pop over a {backlog}-record gated backlog did "
+            f"{counting.pops} pops + {counting.pushes} pushes"
+        )
+
+        # ...and the backlog itself still promotes correctly when ripe
+        clock.advance(61.0)
+        promoted = queue.pop(timeout=0)
+        assert promoted is not None
+        assert promoted.attempts == 2
