@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-replacement bench bench-quick bench-report bench-vector experiments serve-smoke experiment-smoke clean
+.PHONY: install test test-replacement bench bench-quick bench-report bench-vector bench-misspath experiments serve-smoke experiment-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -34,6 +34,11 @@ bench-report:
 bench-vector:
 	$(PYTHON) -m pytest benchmarks/bench_engine_speed.py::test_compiled_path_matches_generator -q
 	$(PYTHON) -m pytest benchmarks/bench_engine_speed.py::test_engine_speed --benchmark-only -s
+
+# batched-miss-path gate: two miss-dense points, three tiers each;
+# fails if the vector tier demotes or any tier's SimResult diverges
+bench-misspath:
+	$(PYTHON) benchmarks/bench_engine_speed.py --misspath
 
 bench-quick:
 	REPRO_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -10,9 +10,10 @@ rather than a claim.  Measurements over a Fig. 8-style
   compile, the rest ``mmap`` the arena), scalar loop only;
 * **vectorized** — the compiled matrix again with the NumPy
   batch-replay tier enabled (warm trace cache), plus the tier's
-  engagement/demotion counts — miss-dense points demote to the scalar
-  loop by design, so this pass measures the tier's *policy*, not just
-  its kernels;
+  engagement/demotion counts broken down by demotion reason — with the
+  batched miss path the tier is expected to *stay* resident on
+  miss-dense points (``vector_tier_stayed_rate``), so a demotion here
+  is a policy regression, not a design choice;
 * **parallel** — the vectorized matrix through ``Executor(workers=N)``
   (``effective_workers`` records what the host can actually run;
   ``oversubscribed`` flags worker counts beyond ``cpu_count``, where
@@ -155,12 +156,20 @@ def measure_matrix(
         "parallel_speedup": round(serial_s / parallel_s, 2),
         "cached_speedup": round(serial_s / cached_s, 2),
         # engine-tier engagement over the vectorized pass: every point
-        # selects the vector tier; miss-dense ones demote mid-run
+        # selects the vector tier; any demotion is attributed a reason
         "vector_tier_runs": vector_runs,
         "vector_tier_demotions": vector_demotions,
         "vector_tier_stayed_rate": round(
             (vector_runs - vector_demotions) / max(1, vector_runs), 3
         ),
+        "vector_tier_demoted_stretch_probe": tiers_after[
+            "demoted_stretch_probe"
+        ] - tiers_before["demoted_stretch_probe"],
+        "vector_tier_demoted_hazard": tiers_after["demoted_hazard"]
+        - tiers_before["demoted_hazard"],
+        "vector_tier_demoted_ineligible_policy": tiers_after[
+            "demoted_ineligible_policy"
+        ] - tiers_before["demoted_ineligible_policy"],
         "trace_compile_hits": int(
             compiled_executor.stats.get("trace_compile_hits")
         ),
@@ -299,6 +308,86 @@ def run_bench(
     return report
 
 
+#: the miss-path smoke matrix: two miss-dense stress points where the
+#: pre-batched tier used to demote on every run
+MISSPATH_SMOKE_POINTS = (("zipf", "bingo"), ("oscillate", "bingo"))
+
+
+def run_misspath_smoke(
+    instructions: int = 20_000, warmup: int = 5_000
+) -> Dict[str, object]:
+    """CI gate for the batched miss path: stay resident *and* agree.
+
+    Two miss-dense points (``MISSPATH_SMOKE_POINTS``), each run on all
+    three tiers.  Fails (``ok: False``) if the vector tier demotes on
+    any point (``stayed_rate`` < 0.9 — with two points one demotion
+    already breaches it) or if any tier's ``SimResult`` diverges
+    field-for-field from the others.
+    """
+    from dataclasses import replace
+
+    report: Dict[str, object] = {
+        "points": [f"{w}/{p}" for w, p in MISSPATH_SMOKE_POINTS],
+        "instructions": instructions,
+        "warmup": warmup,
+    }
+    divergences: List[str] = []
+    previous_cache = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-misspath-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            before = engine_tier_counters()
+            start = time.perf_counter()
+            for workload, prefetcher in MISSPATH_SMOKE_POINTS:
+                job = SimJob.build(
+                    workload,
+                    prefetcher=prefetcher,
+                    system=experiment_system(),
+                    instructions_per_core=instructions,
+                    warmup_instructions=warmup,
+                    scale=EXPERIMENT_SCALE,
+                    compile=True,
+                    vectorized=True,
+                )
+                vectorized = execute_job(job)
+                compiled = execute_job(replace(job, vectorized=False))
+                generator = execute_job(
+                    replace(job, compile=False, vectorized=False)
+                )
+                if compiled.to_dict() != generator.to_dict():
+                    divergences.append(
+                        f"{workload}/{prefetcher}: compiled != generator"
+                    )
+                if vectorized.to_dict() != compiled.to_dict():
+                    divergences.append(
+                        f"{workload}/{prefetcher}: vectorized != compiled"
+                    )
+            elapsed = time.perf_counter() - start
+            after = engine_tier_counters()
+        finally:
+            if previous_cache is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous_cache
+    runs = after["vectorized"] - before["vectorized"]
+    demotions = after["demoted"] - before["demoted"]
+    stayed_rate = (runs - demotions) / max(1, runs)
+    report.update(
+        elapsed_s=round(elapsed, 3),
+        vector_tier_runs=runs,
+        vector_tier_demotions=demotions,
+        vector_tier_stayed_rate=round(stayed_rate, 3),
+        demoted_stretch_probe=after["demoted_stretch_probe"]
+        - before["demoted_stretch_probe"],
+        demoted_hazard=after["demoted_hazard"] - before["demoted_hazard"],
+        demoted_ineligible_policy=after["demoted_ineligible_policy"]
+        - before["demoted_ineligible_policy"],
+        divergences=divergences,
+        ok=stayed_rate >= 0.9 and not divergences,
+    )
+    return report
+
+
 # -- pytest entry point (small matrix, one round) ---------------------------
 
 
@@ -363,7 +452,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--warmup", type=int, default=None)
     parser.add_argument("--no-report", action="store_true",
                         help="skip writing BENCH_engine.json")
+    parser.add_argument("--misspath", action="store_true",
+                        help="run only the miss-path smoke gate: two "
+                        "miss-dense points, fail if the vector tier "
+                        "demotes or any tier diverges")
     args = parser.parse_args(argv)
+    if args.misspath:
+        report = run_misspath_smoke(
+            instructions=args.instructions or 20_000,
+            warmup=args.warmup if args.warmup is not None else 5_000,
+        )
+        print(json.dumps(report, indent=2))
+        if not report["ok"]:
+            print("miss-path smoke FAILED", file=sys.stderr)
+            return 1
+        return 0
     report = run_bench(
         workers=args.workers,
         workloads=args.workloads,

@@ -113,6 +113,27 @@ class DramModel:
             self._open_row[channel][bank] = row
         self._writebacks.value += 1
 
+    # -- state export (vectorized miss path) ---------------------------------
+    def timing_view(self) -> dict:
+        """The scalars and live structures batched timing kernels need.
+
+        Routes are a pure function of the block address (``mix64`` over
+        the row), so a batch can precompute channel/bank/row for every
+        member; the live ``channel_busy``/``open_row`` structures are
+        shared mutable state and any precomputed row verdict must be
+        generation-guarded by the caller (repro.sim.vector.misspath).
+        """
+        return {
+            "channels": self.config.channels,
+            "banks_per_channel": self.config.banks_per_channel,
+            "row_size_bytes": self.config.row_size_bytes,
+            "hit_cycles": self.hit_cycles,
+            "miss_cycles": self.miss_cycles,
+            "occupancy_cycles": self.occupancy_cycles,
+            "channel_busy": self._channel_busy,
+            "open_row": self._open_row,
+        }
+
     # -- introspection ----------------------------------------------------------
     def row_hit_ratio(self) -> float:
         return self.stats.ratio("row_hits", "reads")

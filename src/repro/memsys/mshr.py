@@ -38,8 +38,18 @@ class MshrFile:
         self._inflight: Dict[int, float] = {}
         self._starts: Dict[int, float] = {}
         self._heap: List[tuple] = []  # (completion_time, block)
+        # Stalled reservations only: (start_time, block) ordered by start.
+        # ``_starts`` holds the authoritative value; heap entries whose
+        # start no longer matches it are stale and skipped on pop.
+        self._pending: List[tuple] = []
+        # High-water mark of ``now``; ``_expire`` is already destructive
+        # under non-monotone time, so the clock bakes in the same
+        # assumption rather than adding a new one.
+        self._clock = float("-inf")
 
     def _expire(self, now: float) -> None:
+        if now > self._clock:
+            self._clock = now
         while self._heap and self._heap[0][0] <= now:
             time, block = heapq.heappop(self._heap)
             # Stale heap entries (block re-registered later) are skipped.
@@ -62,14 +72,18 @@ class MshrFile:
         ``entries``.
         """
         self._expire(now)
-        count = 0
-        for block, finish in self._inflight.items():
-            if finish <= now:
-                continue
-            start = self._starts.get(block)
-            if start is None or start <= now:  # no start: occupied at once
-                count += 1
-        return count
+        # Amortized O(1): ``_starts`` holds exactly the live misses whose
+        # entry claim is still in the future, so occupancy is a size
+        # subtraction once starts that have passed are popped.  (After
+        # ``_expire`` every in-flight finish is > now, so the old
+        # per-entry finish check is vacuous.)
+        pending = self._pending
+        starts = self._starts
+        while pending and pending[0][0] <= now:
+            start, block = heapq.heappop(pending)
+            if starts.get(block) == start:
+                del starts[block]
+        return len(self._inflight) - len(starts)
 
     def lookup(self, block: int, now: float) -> Optional[float]:
         """Completion time of an in-flight miss to ``block``, if any."""
@@ -107,8 +121,12 @@ class MshrFile:
         occupied from registration, which is exact for unstalled misses.
         """
         self._inflight[block] = finish
-        if start is not None:
+        if start is not None and start > self._clock:
+            # Only stalled reservations have a future start; unstalled
+            # commits (start <= clock) are occupied at once and never
+            # touch the pending heap.
             self._starts[block] = start
+            heapq.heappush(self._pending, (start, block))
         else:
             self._starts.pop(block, None)
         heapq.heappush(self._heap, (finish, block))
@@ -124,6 +142,18 @@ class MshrFile:
         start = self.reserve(now)
         self.commit(block, completion + (start - now), start=start)
         return start
+
+    def inflight_blocks(self):
+        """Snapshot of the blocks currently registered in flight.
+
+        State-export hook for the vectorized miss path's batched MSHR
+        gate: a block absent from this snapshot (and not re-registered
+        in between) provably cannot merge, so the scalar merge probe
+        can be skipped for it.  Deliberately does *not* expire — a pure
+        read with no clock argument cannot perturb the lazy-expiry
+        order, and unexpired entries only make the gate conservative.
+        """
+        return list(self._inflight)
 
     def merge(self, block: int, now: float) -> Optional[float]:
         """Merge with an in-flight miss; returns its completion time or None."""

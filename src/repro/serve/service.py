@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.stats import StatGroup
+from repro.sim.engine import engine_tier_counters
 from repro.sim.executor import Executor, JobFailure, ResultCache, SimJob
 from repro.sim.results import SimResult
 from repro.serve.jobs import JobRecord, JobState
@@ -340,5 +341,8 @@ class SimulationService:
             "experiments_by_state": self.orchestrator.state_counts(),
             "breaker_open_digests": self.supervisor.breaker.open_digests,
             "executor_totals": totals,
+            # which engine tier answered in-process runs, with demotions
+            # broken down by reason (see repro.sim.engine._TIER_RUNS)
+            "engine_tiers": engine_tier_counters(),
             "counters": tree,
         }

@@ -43,14 +43,28 @@ FASTPATH_VERSION = 1
 #: folds it into result-cache digests alongside ``FASTPATH_VERSION``.
 #: Defined here (not in the vector package) so digests can be computed
 #: on numpy-free installs, where the tier merely never engages.
-VECTOR_VERSION = 1
+#: v2: batched miss path (misspath.py) + drain mode + per-reason demotion.
+VECTOR_VERSION = 2
 
 #: Process-local counts of which engine tier each ``run()`` selected.
 #: ``demoted`` counts vectorized runs that handed off to the compiled
-#: loop mid-run (miss-dense trace; see ``VectorReplay``).  Diagnostics
-#: only — deliberately *not* routed into ``SimResult`` or
+#: loop mid-run, and the ``demoted_*`` keys break that total down by
+#: reason (see ``VectorReplay._should_demote``): ``stretch_probe`` — the
+#: density probe tripped (only when ``DEMOTE_STRETCH`` is raised above
+#: its 0 default); ``ineligible_policy`` — an LLC replacement-policy
+#: interface or Belady oracle keeps the miss path in fallback mode on a
+#: miss-dense trace; ``hazard`` — the batched-verdict hazard-rate valve.
+#: Diagnostics only — deliberately *not* routed into ``SimResult`` or
 #: ``raw_stats``, which must stay byte-identical across tiers.
-_TIER_RUNS = {"vectorized": 0, "compiled": 0, "general": 0, "demoted": 0}
+_TIER_RUNS = {
+    "vectorized": 0,
+    "compiled": 0,
+    "general": 0,
+    "demoted": 0,
+    "demoted_stretch_probe": 0,
+    "demoted_hazard": 0,
+    "demoted_ineligible_policy": 0,
+}
 
 
 def engine_tier_counters() -> Dict[str, int]:

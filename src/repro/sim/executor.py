@@ -63,7 +63,11 @@ from repro.sim.results import SimResult
 #: schema 5: jobs carry the LLC replacement-policy name, so a zoo run
 #: ("fifo", "arc", "opt", ...) can never collide with the LRU entry of
 #: the same point — and every pre-zoo entry invalidates at once
-CACHE_SCHEMA = 5
+#: schema 6: the vector tier's batched miss path (VECTOR_VERSION 2)
+#: rebuilt the barrier execution sequence; entries produced by the
+#: per-barrier ``hierarchy.access`` replay are invalidated wholesale
+#: rather than trusting the version fold alone
+CACHE_SCHEMA = 6
 
 KwargItems = Tuple[Tuple[str, object], ...]
 

@@ -89,6 +89,7 @@ class Chunk:
         "depflag",
         "loadflag",
         "any_dep",
+        "mp",
     )
 
     def __init__(self, start, end, kind, block, setidx, way, vpage) -> None:
@@ -99,6 +100,9 @@ class Chunk:
         self.setidx = setidx
         self.way = way
         self.vpage = vpage
+        # batched miss plan (repro.sim.vector.misspath.MissPlan), attached
+        # by the miss path's prepare pass; None means fully scalar barriers
+        self.mp = None
 
 
 def _block_of(frames, vaddrs, page_bits: int, block_bits: int):
@@ -193,6 +197,51 @@ def classify_chunk(
         way[km] = w
     _derive(chunk, flags, ways, hit_lat)
     return chunk
+
+
+def resolve_blocks(
+    start: int,
+    end: int,
+    addrs,
+    flags,
+    mapping,
+    core_id: int,
+    page_bits: int,
+    block_bits: int,
+):
+    """Batched Translator frame lookups for a drain window.
+
+    Returns ``(blocks, vpages)``: per-record physical block numbers as
+    int64 (−1 for non-memory records and still-unmapped pages) and the
+    per-record virtual page (0 for non-memory records).  This is the
+    translation half of :func:`classify_chunk` without the membership
+    test — the drain walker probes its residency dict per record, so
+    only the frame resolution is worth batching.
+    """
+    n = end - start
+    out = np.full(n, -1, dtype=np.int64)
+    vpages = np.zeros(n, dtype=np.uint64)
+    f = flags[start:end]
+    mem = np.nonzero(f & 1)[0]
+    if mem.size == 0:
+        return out, vpages
+    va = addrs[start:end][mem]
+    vp = va >> np.uint64(page_bits)
+    vpages[mem] = vp
+    uniq, inverse = np.unique(vp, return_inverse=True)
+    frames = np.zeros(uniq.size, np.uint64)
+    known = np.zeros(uniq.size, bool)
+    get = mapping.get
+    for i, page in enumerate(uniq.tolist()):
+        frame = get((core_id, page))
+        if frame is not None:
+            frames[i] = frame
+            known[i] = True
+    sel = np.nonzero(known[inverse])[0]
+    if sel.size:
+        blk = _block_of(frames[inverse[sel]], va[sel], page_bits, block_bits)
+        out[mem[sel]] = blk.astype(np.int64)
+    return out, vpages
 
 
 def reclassify_set(

@@ -10,11 +10,13 @@ semantics but batches everything that does not touch shared state:
   translator's shared frame PRNG, ``hierarchy._now``).  L1 hits and
   compute instructions touch nothing but their core's private timing
   state and additive stat counters, so they commute with every other
-  core's work.  The driver therefore runs each core *vectorized* up to
-  its next miss (the "barrier"), then executes pending barriers one at
-  a time in global ``(dispatch, core_id)`` order — exactly the order
-  the scalar heap pops them, because per-core dispatch times strictly
-  increase and heap ties break by core id.
+  core's work.  The driver therefore runs each core up to its next miss
+  (the "barrier"), then executes pending barriers one at a time in
+  global ``(dispatch, core_id)`` order — exactly the order the scalar
+  heap pops them, because per-core dispatch times strictly increase and
+  heap ties break by core id.  When a core's next barrier dispatches
+  strictly before every other pending barrier, it is executed inline
+  without a heap round-trip (the pop would return it anyway).
 
 * **Array L1s.**  Each core's L1D lives in preallocated tag/valid
   arrays plus an LRU *stamp* per way holding the instruction index of
@@ -33,27 +35,42 @@ semantics but batches everything that does not touch shared state:
   the kernels produce is the result of the same operations in the same
   order as the scalar loop, so ``SimResult``\\ s match field for field.
 
-* **A constant-time readiness test.**  Ring slots hold the running
-  retire maximum, written in instruction order — so the values an
-  attempt can read are *monotone nondecreasing*, and the window's
-  maximum is its last slot (or ``last_retire`` once the window wraps
-  the whole ring).  One scalar compare against the chain's first
-  dispatch therefore proves most attempts violation-free, skipping the
-  gather/argmax machinery entirely; only attempts near a long-latency
-  retire (the real ROB-drain case) pay for the exact search.
+* **A batched miss path** (:mod:`repro.sim.vector.misspath`).  Each
+  classified chunk's known-block barriers are pre-resolved in one
+  NumPy pass — MSHR no-merge gate, DRAM routes, and (without
+  prefetchers) generation-guarded LLC membership verdicts — and the
+  barriers themselves run through an inlined service routine instead
+  of the full ``MemoryHierarchy.access`` call chain.  Members whose
+  verdicts are invalidated by cross-core ordering hazards re-resolve
+  against the live structures, so outcomes stay exact.
 
-* **In-flight demotion.**  Batching only pays when stretches between
-  barriers are long; on miss-dense traces (the ``mix*`` workloads run
-  ~74 % L1 miss rates) classification and reclassification are pure
-  overhead on top of the shared miss path every tier pays.  The driver
-  therefore probes the first :data:`PROBE_BARRIERS` misses and, when
-  the mean stretch falls below :data:`DEMOTE_STRETCH` records, hands
-  the rest of the run to the scalar compiled loop: core state is
-  written back exactly as at end-of-advance, and the array L1s are
-  materialised back into the real ``Cache`` objects in stamp (LRU)
-  order — so the compiled loop continues from byte-identical state and
-  the vectorized tier is never slower than the compiled tier by more
-  than the probe window.
+* **A scalar drain mode for miss-dense stretches.**  Batching only
+  pays when stretches between barriers are long; on miss-dense traces
+  (the ``mix*`` workloads run ~74 % L1 miss rates under cold caches)
+  chunk classification, reclassification, and the per-barrier tail
+  scan are pure overhead.  Instead of demoting the whole run, each
+  core tracks its recent records-per-barrier and *drains* dense
+  stretches scalar: frame lookups are still batched per window
+  (:func:`repro.sim.vector.classify.resolve_blocks`), but records walk
+  a plain-Python loop against a residency dict — the compiled loop's
+  arithmetic verbatim, minus its heap and per-record hierarchy calls —
+  and barriers go through the same inlined miss path.  Hysteresis
+  (:data:`DRAIN_ENTER` / :data:`DRAIN_EXIT`) keeps the mode stable,
+  and the core re-enters batch mode when stretches lengthen.
+
+* **Demotion as a safety valve.**  With the drain mode carrying
+  miss-dense stretches, the vector tier no longer hands miss-dense
+  runs to the compiled loop: :data:`DEMOTE_STRETCH` defaults to 0, so
+  the density probe always passes.  Demotion remains for two cases,
+  counted per reason in ``engine_tier_counters()``: runs whose LLC has
+  a replacement-policy interface or Belady oracle attached (the miss
+  path's ``fallback`` mode keeps the scalar ``_llc_access`` per miss,
+  so sub-:data:`DEMOTE_STRETCH_FALLBACK` stretches demote, reason
+  ``ineligible_policy``) and a batched-verdict hazard-rate valve
+  (reason ``hazard``).  The handoff itself is unchanged: core state is
+  written back exactly as at end-of-advance and the array L1s are
+  materialised into the real ``Cache`` objects in stamp (LRU) order,
+  so the compiled loop continues from byte-identical state.
 """
 
 from __future__ import annotations
@@ -67,10 +84,13 @@ import numpy as np
 from repro.sim.vector.classify import (
     CLS_MISS,
     Chunk,
+    _block_of,
     classify_chunk,
     reclassify_set,
     reclassify_vpage,
+    resolve_blocks,
 )
+from repro.sim.vector.misspath import MODE_FALLBACK, MissPath
 
 #: starting / bounding chunk sizes (records) for adaptive chunking
 DEFAULT_CHUNK = 4096
@@ -87,12 +107,31 @@ ATTEMPT_MAX = 4096
 EARLY_VIOLATION = 16
 #: demotion probe: after this many barriers, compare the mean stretch
 PROBE_BARRIERS = 512
-#: mean records-per-barrier below which the run demotes to the scalar
-#: compiled loop.  Measured break-even on a 1-CPU host is ~100 records
-#: per barrier (below that, per-stretch NumPy call overhead plus
-#: chunk (re)classification outweigh what batching saves); 80 keeps a
-#: safety margin for hit-dominated traces whose probe window runs cold.
-DEMOTE_STRETCH = 80
+#: mean records-per-barrier below which the probe demotes.  0 by
+#: default: with the drain mode carrying dense stretches the probe
+#: always passes; the module global stays because tests (and callers
+#: wanting the old behaviour) monkeypatch it up.
+DEMOTE_STRETCH = 0
+#: probe threshold for the miss path's ``fallback`` mode (LLC policy
+#: interface or Belady oracle attached): every miss still pays the full
+#: scalar ``_llc_access``, so dense runs are better off compiled
+DEMOTE_STRETCH_FALLBACK = 24
+
+#: drain-mode hysteresis, in mean records between barriers: a core
+#: below ENTER switches its batching off; above EXIT switches it back.
+#: Measured batch break-even on a 1-CPU host is ~100 records/barrier
+#: (below that, per-stretch NumPy call overhead plus chunk
+#: (re)classification outweigh what batching saves).
+DRAIN_ENTER = 96
+DRAIN_EXIT = 192
+#: records between drain/batch mode decisions, and the drain window
+#: (records whose frame lookups are batched per ``resolve_blocks`` call)
+DECIDE_MIN = 1024
+DRAIN_WINDOW = 4096
+
+#: sentinel: a draining core switched back to batch mode mid-call
+_SWITCH = object()
+
 
 class _CoreState:
     """Private replay state of one core: trace views, timing, array L1."""
@@ -113,9 +152,21 @@ class _CoreState:
         "valid",
         "valid_count",
         "stamp",
+        "resident",
         "chunk",
         "chunk_records",
         "pend_hits",
+        "barriers",
+        "drain",
+        "stamp_list",
+        "ring_list",
+        "blk",
+        "vp",
+        "fl",
+        "win_base",
+        "win_end",
+        "dec_count",
+        "dec_barriers",
         "bufd",
         "bufr",
         "bufc",
@@ -142,9 +193,27 @@ class _CoreState:
         self.valid = np.zeros((sets, ways), dtype=bool)
         self.valid_count = [0] * sets
         self.stamp = np.zeros(sets * ways, dtype=np.int64)
+        # block -> flat stamp slot, maintained alongside the tag arrays;
+        # the drain walker's residency probe (caches start empty when the
+        # replay is constructed, so empty is exact)
+        self.resident = {}
         self.chunk: Optional[Chunk] = None
         self.chunk_records = DEFAULT_CHUNK
         self.pend_hits = 0
+        self.barriers = 0
+        # drain mode: Python-list twins of stamp/ring (authoritative
+        # while draining; synced at mode switches) plus the current
+        # window's resolved blocks/pages/flags
+        self.drain = False
+        self.stamp_list = None
+        self.ring_list = None
+        self.blk = None
+        self.vp = None
+        self.fl = None
+        self.win_base = 0
+        self.win_end = 0
+        self.dec_count = self.count
+        self.dec_barriers = 0
         # scratch buffers for the attempt kernels (never observable)
         self.bufd = np.empty(ATTEMPT_MAX + 1, dtype=np.float64)
         self.bufr = np.empty(ATTEMPT_MAX + 1, dtype=np.float64)
@@ -185,9 +254,11 @@ class VectorReplay:
         rob = self.cores[0].rob if self.cores else 0
         interval = self.cores[0].interval if self.cores else 0.0
         self.rob_slack = rob * interval >= max(self.hit_lat, 1.0) + 1.0
+        self.misspath = MissPath(self)
         self.demoted = False
         self._barriers_seen = 0
         self._probe_done = False
+        self._demote_reason = "stretch_probe"
 
     # -- the driver -------------------------------------------------------
     def advance(self, budget_per_core: int) -> None:
@@ -205,28 +276,52 @@ class VectorReplay:
             while pending:
                 _, core_id = heapq.heappop(pending)
                 cs = self.cores[core_id]
-                self._execute_barrier(cs)
-                if not self._probe_done and self._should_demote():
-                    self.demoted = True
+                while True:
+                    if cs.drain:
+                        self._execute_barrier_drain(cs)
+                    else:
+                        self._execute_barrier(cs)
+                    if not self._probe_done and self._should_demote():
+                        self.demoted = True
+                        break
+                    dispatch = self._run_to_barrier(cs, budget_per_core)
+                    if dispatch is None:
+                        break
+                    if pending and (dispatch, core_id) >= pending[0]:
+                        heapq.heappush(pending, (dispatch, core_id))
+                        break
+                    # same-core continuation: this barrier dispatches
+                    # strictly before every pending one (tuples with
+                    # distinct core ids never tie), so the heap would
+                    # pop it right back — execute it inline instead
+                if self.demoted:
                     break
-                dispatch = self._run_to_barrier(cs, budget_per_core)
-                if dispatch is not None:
-                    heapq.heappush(pending, (dispatch, core_id))
         finally:
             self._writeback()
         if self.demoted:
-            self._materialize_l1()
+            self._materialize_l1(self._demote_reason)
             self._advance_demoted(budget_per_core)
 
     def _should_demote(self) -> bool:
-        """Probe the trace's barrier density over the first misses."""
+        """Demotion safety valves; see the module docstring."""
         self._barriers_seen += 1
+        if self.misspath.hazard_rate_exceeded():
+            self._demote_reason = "hazard"
+            return True
         if self._barriers_seen < PROBE_BARRIERS:
             return False
+        stretch = DEMOTE_STRETCH
+        if self.misspath.mode == MODE_FALLBACK:
+            if DEMOTE_STRETCH_FALLBACK > stretch:
+                stretch = DEMOTE_STRETCH_FALLBACK
+            reason = "ineligible_policy"
+        else:
+            reason = "stretch_probe"
         replayed = sum(cs.count for cs in self.cores)
-        if replayed >= self._barriers_seen * DEMOTE_STRETCH:
-            self._probe_done = True  # hit-dominated: batching pays, stay
+        if replayed >= self._barriers_seen * stretch:
+            self._probe_done = True  # batching (or draining) pays, stay
             return False
+        self._demote_reason = reason
         return True
 
     def _advance_demoted(self, budget_per_core: int) -> None:
@@ -241,7 +336,7 @@ class VectorReplay:
         cursors = [core._count for core in engine.cores]
         engine._run_until_compiled(arenas, cursors, budget_per_core)
 
-    def _materialize_l1(self) -> None:
+    def _materialize_l1(self, reason: str) -> None:
         """Rebuild the real L1 ``Cache`` objects from the array mirrors.
 
         The compiled loop probes the real ``OrderedDict`` sets, which
@@ -257,10 +352,11 @@ class VectorReplay:
         from repro.sim.engine import _TIER_RUNS
 
         _TIER_RUNS["demoted"] += 1
+        _TIER_RUNS["demoted_" + reason] += 1
         ways = self.ways
         for cs in self.cores:
             l1 = self.h.l1ds[cs.core_id]
-            stamp = cs.stamp.tolist()
+            stamp = cs.stamp_list if cs.drain else cs.stamp.tolist()
             tags = cs.tags
             for set_index, entries in enumerate(l1._sets):
                 filled = cs.valid_count[set_index]
@@ -276,15 +372,46 @@ class VectorReplay:
     def _next_dispatch(self, cs: _CoreState) -> float:
         dispatch = cs.last_dispatch + cs.interval
         if cs.count >= cs.rob:
-            ready = cs.ring[cs.count % cs.rob]
+            ring = cs.ring_list if cs.drain else cs.ring
+            ready = ring[cs.count % cs.rob]
             if ready > dispatch:
                 dispatch = ready
         return float(dispatch)
 
+    # -- drain/batch mode selection ---------------------------------------
+    def _decide_mode(self, cs: _CoreState) -> None:
+        """Hysteresis over the core's recent records-per-barrier."""
+        rec = cs.count - cs.dec_count
+        if rec < DECIDE_MIN:
+            return
+        bar = cs.barriers - cs.dec_barriers
+        cs.dec_count = cs.count
+        cs.dec_barriers = cs.barriers
+        stretch = rec / bar if bar else float("inf")
+        if cs.drain:
+            if stretch >= DRAIN_EXIT:
+                self._sync_to_batch(cs)
+        elif stretch <= DRAIN_ENTER:
+            self._sync_to_drain(cs)
+
+    def _sync_to_drain(self, cs: _CoreState) -> None:
+        cs.stamp_list = cs.stamp.tolist()
+        cs.ring_list = cs.ring.tolist()
+        cs.drain = True
+        cs.chunk = None
+        cs.win_end = cs.count  # force window prep
+
+    def _sync_to_batch(self, cs: _CoreState) -> None:
+        cs.stamp[:] = cs.stamp_list
+        cs.ring[:] = cs.ring_list
+        cs.drain = False
+        cs.chunk = None
+
+    # -- running a core to its next barrier -------------------------------
     def _run_to_barrier(
         self, cs: _CoreState, budget: int
     ) -> Optional[float]:
-        """Vectorize the core forward to its next barrier (or the budget).
+        """Advance the core to its next barrier (or the budget).
 
         Returns the barrier's exact dispatch time for the global order
         heap, or None when the core has retired its budget first.
@@ -292,8 +419,16 @@ class VectorReplay:
         while True:
             if cs.count >= budget:
                 return None
+            if cs.drain:
+                r = self._drain_to_barrier(cs, budget)
+                if r is not _SWITCH:
+                    return r
+                continue
             chunk = cs.chunk
             if chunk is None or cs.count >= chunk.end:
+                self._decide_mode(cs)
+                if cs.drain:
+                    continue
                 chunk = self._load_chunk(cs, budget)
             rel = cs.count - chunk.start
             tail = chunk.kind[rel:] >= CLS_MISS
@@ -317,7 +452,7 @@ class VectorReplay:
             end,
             cs.addrs,
             cs.flags,
-            self.h.translator._mapping,
+            self.h.translator.mapping_view(),
             cs.core_id,
             cs.tags,
             cs.valid,
@@ -328,6 +463,7 @@ class VectorReplay:
             self.hit_lat,
         )
         cs.chunk = chunk
+        self.misspath.prepare_chunk(cs, chunk)
         if self.fixed_chunk is None:
             barriers = int((chunk.kind >= CLS_MISS).sum())
             if barriers > 2 * TARGET_BARRIERS:
@@ -335,6 +471,177 @@ class VectorReplay:
             elif barriers < TARGET_BARRIERS // 2:
                 cs.chunk_records = min(MAX_CHUNK, cs.chunk_records * 2)
         return chunk
+
+    # -- drain mode --------------------------------------------------------
+    def _prep_window(self, cs: _CoreState, budget: int) -> None:
+        base = cs.count
+        end = min(base + DRAIN_WINDOW, budget)
+        blk, vp = resolve_blocks(
+            base,
+            end,
+            cs.addrs,
+            cs.flags,
+            self.h.translator.mapping_view(),
+            cs.core_id,
+            self.page_bits,
+            self.block_bits,
+        )
+        cs.win_base = base
+        cs.win_end = end
+        cs.blk = blk.tolist()
+        cs.vp = vp
+        cs.fl = cs.flags[base:end].tolist()
+
+    def _drain_to_barrier(self, cs: _CoreState, budget: int):
+        """Scalar-walk a draining core to its next barrier.
+
+        The compiled loop's per-record arithmetic verbatim — Python
+        floats through the same operations in the same order — with
+        residency decided by the ``resident`` dict and frame lookups
+        pre-batched per window.  Returns the barrier's dispatch time,
+        None at the budget, or :data:`_SWITCH` if the core left drain
+        mode at a window boundary.
+        """
+        while True:
+            if cs.count >= budget:
+                return None
+            if cs.count >= cs.win_end:
+                self._decide_mode(cs)
+                if not cs.drain:
+                    return _SWITCH
+                self._prep_window(cs, budget)
+            i = cs.count
+            base = cs.win_base
+            end = cs.win_end
+            fl = cs.fl
+            bl = cs.blk
+            resident = cs.resident
+            stamp_list = cs.stamp_list
+            ring_list = cs.ring_list
+            rob = cs.rob
+            interval = cs.interval
+            lat = self.hit_lat
+            last_dispatch = cs.last_dispatch
+            last_retire = cs.last_retire
+            last_llc = cs.last_llc
+            pend = 0
+            barrier = False
+            while i < end:
+                dispatch = last_dispatch + interval
+                if i >= rob:
+                    ready = ring_list[i % rob]
+                    if ready > dispatch:
+                        dispatch = ready
+                bits = fl[i - base]
+                if bits & 1:
+                    slot = resident.get(bl[i - base], -1)
+                    if slot < 0:
+                        barrier = True
+                        break
+                    issue = dispatch
+                    if bits & 4 and last_llc > issue:
+                        issue = last_llc
+                    complete = issue + lat
+                    if not bits & 2:
+                        last_llc = complete
+                    stamp_list[slot] = i
+                    pend += 1
+                else:
+                    complete = dispatch + 1.0  # CoreTimingModel.ALU_LATENCY
+                if complete > last_retire:
+                    last_retire = complete
+                ring_list[i % rob] = last_retire
+                i += 1
+                last_dispatch = dispatch
+            cs.count = i
+            cs.last_dispatch = float(last_dispatch)
+            cs.last_retire = float(last_retire)
+            cs.last_llc = float(last_llc)
+            cs.pend_hits += pend
+            if barrier:
+                # the barrier record is NOT consumed; its dispatch is
+                # recomputed identically by _next_dispatch for the heap
+                return float(dispatch)
+
+    def _patch_window(self, cs: _CoreState, j: int, vpage: int, frame: int):
+        """Resolve a just-mapped page's remaining window records."""
+        tail = cs.vp[j + 1 :]
+        idx = np.nonzero(tail == np.uint64(vpage))[0]
+        if idx.size == 0:
+            return
+        va = cs.addrs[cs.win_base + j + 1 : cs.win_end][idx]
+        blk = _block_of(
+            np.uint64(frame), va, self.page_bits, self.block_bits
+        ).astype(np.int64)
+        bl = cs.blk
+        off = j + 1
+        for k, b in zip(idx.tolist(), blk.tolist()):
+            bl[off + k] = b
+
+    def _execute_barrier_drain(self, cs: _CoreState) -> None:
+        """One drain-mode barrier against the shared miss path."""
+        h = self.h
+        index = cs.count
+        j = index - cs.win_base
+        bits = cs.fl[j]
+        is_write = bool(bits & 2)
+        core_id = cs.core_id
+
+        dispatch = self._next_dispatch(cs)
+        issue = dispatch
+        if bits & 4 and cs.last_llc > issue:
+            issue = cs.last_llc
+        now = issue
+
+        vaddr = int(cs.addrs[index])
+        block = cs.blk[j]
+        if block < 0:
+            # first touch: the real translator allocates (preserving the
+            # shared PRNG's draw order), then the page's remaining window
+            # records resolve in place
+            paddr0 = h.translator.translate(core_id, vaddr)
+            block = paddr0 >> self.block_bits
+            self._patch_window(
+                cs, j, vaddr >> self.page_bits, paddr0 >> self.page_bits
+            )
+            slot = cs.resident.get(block, -1)
+            if slot >= 0:
+                # already resident (page mapped but unresolved when the
+                # window was prepped): an ordinary L1 hit, replayed at
+                # barrier granularity — touches no shared state
+                complete = now + self.hit_lat
+                if not is_write:
+                    cs.last_llc = float(complete)
+                cs.stamp_list[slot] = index
+                cs.pend_hits += 1
+                self._retire_barrier(cs, index, dispatch, complete)
+                return
+        set_index = block & int(self.set_mask)
+
+        h._l1_accesses[core_id].value += 1
+        h._l1_misses[core_id].value += 1
+        latency, filled = self.misspath.service(
+            cs, index, block, vaddr, now, is_write, None, None
+        )
+        if filled:
+            self._fill(cs, block, set_index, index)
+        complete = now + latency
+        if not is_write:
+            cs.last_llc = float(complete)
+        self._retire_barrier(cs, index, dispatch, complete)
+        cs.barriers += 1
+
+    def _retire_barrier(self, cs, index, dispatch, complete) -> None:
+        retire = cs.last_retire
+        if complete > retire:
+            retire = complete
+        if cs.drain:
+            cs.ring_list[index % cs.rob] = retire
+        else:
+            cs.ring[index % cs.rob] = retire
+        cs.count = index + 1
+        cs.last_dispatch = dispatch
+        cs.last_retire = float(retire)
 
     # -- hit/compute stretches --------------------------------------------
     def _time_stretch(
@@ -535,12 +842,14 @@ class VectorReplay:
 
     # -- barriers ---------------------------------------------------------
     def _execute_barrier(self, cs: _CoreState) -> None:
-        """One L1 miss, replayed scalar against the real shared objects.
+        """One batch-mode L1 miss against the shared miss path.
 
-        This is :meth:`MemoryHierarchy.access`'s miss path verbatim, with
-        the array L1 standing in for the ``Cache`` object: same counter
-        increments, same MSHR call sequence, same ``_llc_access`` entry —
-        so the LLC, DRAM, prefetchers, and the translator's PRNG see
+        The head and tail are :meth:`MemoryHierarchy.access` verbatim
+        with the array L1 standing in for the ``Cache`` object; the
+        shared middle is the inlined service in
+        :mod:`repro.sim.vector.misspath`, consuming this chunk's
+        precomputed miss plan where the record has an entry — so the
+        LLC, DRAM, prefetchers, and the translator's PRNG see
         byte-identical call streams in byte-identical global order.
         """
         h = self.h
@@ -558,11 +867,25 @@ class VectorReplay:
             issue = cs.last_llc
         now = issue
 
+        pe = None
         if kind == CLS_MISS:
             block = int(chunk.block[rel])
             set_index = int(chunk.setidx[rel])
             vaddr = int(cs.addrs[index])
             vpage = frame = None
+            mp = chunk.mp
+            if mp is not None:
+                # advance the plan cursor past members reclassified to
+                # hits; consume this record's entry if it kept one
+                cur = mp.cur
+                pos = mp.pos
+                n = mp.n
+                while cur < n and pos[cur] < rel:
+                    cur += 1
+                if cur < n and pos[cur] == rel:
+                    pe = cur
+                    cur += 1
+                mp.cur = cur
         else:  # CLS_UNKNOWN: first touch — the real translator allocates
             vaddr = int(cs.addrs[index])
             paddr0 = h.translator.translate(core_id, vaddr)
@@ -570,36 +893,21 @@ class VectorReplay:
             set_index = block & int(self.set_mask)
             vpage = vaddr >> self.page_bits
             frame = paddr0 >> self.page_bits
-        paddr = (block << self.block_bits) | (vaddr & self.block_mask)
+            mp = chunk.mp
 
         h._l1_accesses[core_id].value += 1
         h._l1_misses[core_id].value += 1
-        mshr = h.l1_mshrs[core_id]
-        merged = mshr.merge(block, now)
-        filled = False
-        if merged is not None:
-            latency = (merged - now) + self.hit_lat
-        else:
-            start = mshr.reserve(now)
-            issue2 = start + self.hit_lat
-            result = h._llc_access(
-                core_id, int(cs.pcs[index]), paddr, block, issue2, is_write
-            )
-            latency = (issue2 - now) + self.hit_lat + result.latency
-            mshr.commit(block, now + latency, start=start)
+        latency, filled = self.misspath.service(
+            cs, index, block, vaddr, now, is_write, mp, pe
+        )
+        if filled:
             self._fill(cs, block, set_index, index)
-            filled = True
 
         complete = now + latency
         if not is_write:
             cs.last_llc = float(complete)
-        retire = cs.last_retire
-        if complete > retire:
-            retire = complete
-        cs.ring[index % cs.rob] = retire
-        cs.count = index + 1
-        cs.last_dispatch = dispatch
-        cs.last_retire = float(retire)
+        self._retire_barrier(cs, index, dispatch, complete)
+        cs.barriers += 1
 
         if cs.count < chunk.end:
             if frame is not None:
@@ -631,10 +939,22 @@ class VectorReplay:
     def _fill(self, cs: _CoreState, block: int, set_index: int, index: int):
         """Array-L1 fill: LRU victim by stamp, mirroring ``Cache.fill``."""
         l1 = self.h.l1ds[cs.core_id]
+        ways = self.ways
         filled = cs.valid_count[set_index]
-        base = set_index * self.ways
-        if filled == self.ways:
-            way = int(np.argmin(cs.stamp[base : base + self.ways]))
+        base = set_index * ways
+        if filled == ways:
+            if cs.drain:
+                sl = cs.stamp_list
+                way = 0
+                best = sl[base]
+                for w in range(1, ways):
+                    v = sl[base + w]
+                    if v < best:
+                        best = v
+                        way = w
+            else:
+                way = int(np.argmin(cs.stamp[base : base + ways]))
+            del cs.resident[int(cs.tags[set_index, way])]
             l1._evictions.value += 1
         else:
             # valid bits never clear, so ways fill strictly in index
@@ -643,7 +963,11 @@ class VectorReplay:
             cs.valid_count[set_index] = filled + 1
             cs.valid[set_index, way] = True
         cs.tags[set_index, way] = block
-        cs.stamp[base + way] = index
+        if cs.drain:
+            cs.stamp_list[base + way] = index
+        else:
+            cs.stamp[base + way] = index
+        cs.resident[block] = base + way
         l1._fills.value += 1
 
     # -- state writeback --------------------------------------------------
@@ -660,7 +984,8 @@ class VectorReplay:
             core._last_dispatch = float(cs.last_dispatch)
             core._last_retire = float(cs.last_retire)
             core._last_load_complete = float(cs.last_llc)
-            core._retire_ring[:] = cs.ring.tolist()
+            ring = cs.ring_list if cs.drain else cs.ring.tolist()
+            core._retire_ring[:] = ring
             core._stat_instructions.value = cs.count
             core._stat_cycles.value = float(cs.last_retire)
             if cs.pend_hits:

@@ -85,6 +85,59 @@ class TestBlockState:
         assert set(cache.resident_blocks()) == {1, 2, 3}
 
 
+class TestNonTouchProbes:
+    """Read-only probes (``touch=False``) must not perturb replacement
+    state.  The differential checker and oracle observe paths rely on
+    this: a probe that silently refreshed LRU would make the harnessed
+    run diverge from the bare one.  Pins the guard in ``Cache.lookup``
+    for both the native OrderedDict order and the policy interface."""
+
+    def test_probe_does_not_refresh_native_lru_order(self):
+        cache = tiny_cache()
+        # Blocks 0, 4, 8 all map to set 0 (4 sets).
+        cache.fill(0, BlockState())
+        cache.fill(4, BlockState())
+        state = cache.lookup(0, touch=False)  # probe the LRU block
+        assert state is not None
+        victim = cache.fill(8, BlockState())
+        # 0 is still the LRU victim: the probe did not refresh it
+        assert victim[0] == 0
+
+    def test_touching_lookup_still_refreshes(self):
+        cache = tiny_cache()
+        cache.fill(0, BlockState())
+        cache.fill(4, BlockState())
+        cache.lookup(0)  # default touch=True
+        victim = cache.fill(8, BlockState())
+        assert victim[0] == 4
+
+    def test_probe_of_missing_block_is_inert(self):
+        cache = tiny_cache()
+        cache.fill(0, BlockState())
+        assert cache.lookup(8, touch=False) is None
+        assert cache.lookup(8) is None  # miss never touches either
+        victim = cache.fill(4, BlockState())
+        assert victim is None
+
+    def test_probe_does_not_call_policy_touch(self):
+        from repro.memsys.replacement import make_replacement
+
+        policy = make_replacement("lru-interface", num_sets=4, ways=2)
+        touches = []
+        original = policy.touch
+        policy.touch = lambda s, b: (touches.append((s, b)), original(s, b))
+        cache = Cache(CacheConfig(size_bytes=512, ways=2), policy=policy)
+        cache.fill(0, BlockState())
+        cache.fill(4, BlockState())
+        touches.clear()
+        assert cache.lookup(0, touch=False) is not None
+        assert touches == []
+        assert cache.lookup(0) is not None
+        assert touches == [(0, 0)]
+        victim = cache.fill(8, BlockState())
+        assert victim[0] == 4  # 0 was refreshed by the touching lookup only
+
+
 @given(blocks=st.lists(st.integers(min_value=0, max_value=255), max_size=200))
 def test_capacity_invariant(blocks):
     """The cache never holds more blocks than its capacity, and any block

@@ -118,3 +118,85 @@ class TestReserveKeepsEntries:
         mshr.commit(1, finish=100.0)  # no start: unstalled miss
         assert mshr.occupancy(now=0.0) == 1
         assert mshr.occupancy(now=150.0) == 0
+
+
+class _ScanCountingDict(dict):
+    """Counts whole-structure iterations; point lookups stay free."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.scans = 0
+
+    def items(self):
+        self.scans += 1
+        return super().items()
+
+    def values(self):
+        self.scans += 1
+        return super().values()
+
+    def keys(self):
+        self.scans += 1
+        return super().keys()
+
+    def __iter__(self):
+        self.scans += 1
+        return super().__iter__()
+
+
+class TestOccupancyIsNotALinearScan:
+    """Regression: ``occupancy(now)`` used to iterate every in-flight
+    entry per call.  On the hot miss path it is called once per L1 miss
+    by the invariant checker, so with N live misses that was O(N) per
+    miss.  The pending-start heap makes it a size subtraction; this test
+    pins that by counting whole-dict scans."""
+
+    def test_occupancy_does_not_scan_the_inflight_dict(self):
+        mshr = MshrFile(entries=64)
+        spy = _ScanCountingDict()
+        mshr._inflight = spy
+        for block in range(48):
+            mshr.commit(block, finish=1000.0 + block)
+        spy.scans = 0  # ignore construction-time traffic
+        for now in range(0, 900, 10):
+            mshr.occupancy(now=float(now))
+        assert spy.scans == 0
+
+    def test_occupancy_stays_exact_against_a_reference_scan(self):
+        # Drive a stall-heavy schedule and diff the fast occupancy
+        # against the old linear-scan definition at every step.
+        mshr = MshrFile(entries=2)
+        schedule = [
+            (1, 10.0, 100.0),
+            (2, 20.0, 200.0),
+            (3, 30.0, 300.0),  # stalls behind 1
+            (4, 40.0, 400.0),  # stalls behind 2
+            (5, 210.0, 500.0),  # issues after 1 and 2 retired
+        ]
+        probes = [0.0, 50.0, 99.0, 100.0, 150.0, 205.0, 250.0, 600.0]
+        probe_iter = iter(sorted(probes))
+        next_probe = next(probe_iter, None)
+        for block, now, completion in schedule:
+            while next_probe is not None and next_probe <= now:
+                assert mshr.occupancy(next_probe) == _reference_occupancy(
+                    mshr, next_probe
+                )
+                next_probe = next(probe_iter, None)
+            mshr.allocate(block, now=now, completion=completion)
+        while next_probe is not None:
+            assert mshr.occupancy(next_probe) == _reference_occupancy(
+                mshr, next_probe
+            )
+            next_probe = next(probe_iter, None)
+
+
+def _reference_occupancy(mshr, now):
+    """The original O(N) definition, computed on live internal state."""
+    count = 0
+    for block, finish in mshr._inflight.items():
+        if finish <= now:
+            continue
+        start = mshr._starts.get(block)
+        if start is None or start <= now:
+            count += 1
+    return count

@@ -88,6 +88,16 @@ class TestRoutes:
         assert metrics["in_flight"] == 0
         assert "executor_totals" in metrics
         assert "counters" in metrics
+        tiers = metrics["engine_tiers"]
+        for key in (
+            "vectorized",
+            "compiled",
+            "demoted",
+            "demoted_stretch_probe",
+            "demoted_hazard",
+            "demoted_ineligible_policy",
+        ):
+            assert key in tiers
 
     def test_unknown_route_404(self, api):
         _, client, _, _ = api

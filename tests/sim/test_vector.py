@@ -24,7 +24,11 @@ from repro.sim.engine import (
     engine_tier_counters,
 )
 from repro.sim.executor import SimJob, execute_job
-from repro.workloads.registry import WORKLOAD_NAMES, make_workload
+from repro.workloads.registry import (
+    STRESS_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    make_workload,
+)
 
 SCALE = 0.02
 
@@ -136,6 +140,95 @@ def test_property_three_tier_equality(
         seed=seed,
     )
     assert tiers["vectorized"] == tiers["compiled"] == tiers["generator"]
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    workload=st.sampled_from(sorted(STRESS_WORKLOAD_NAMES)),
+    prefetcher=st.sampled_from(["none", "bingo"]),
+    instructions=st.integers(min_value=1200, max_value=3200),
+    chunk=st.sampled_from([None, 64, 512]),
+    seed=st.integers(min_value=1, max_value=2**16),
+)
+def test_property_hazard_heavy_equality(
+    workload, prefetcher, instructions, chunk, seed
+):
+    """Batch-hazard-heavy draws: miss-dense stress workloads, where
+    nearly every record is a barrier, cross-core LLC set contention
+    invalidates mirror verdicts, and small chunks put plan boundaries
+    everywhere.  ``prefetcher="none"`` pins the mirror-mode miss path
+    (gen-guard hazards), ``"bingo"`` pins the lean mode (MSHR gate +
+    prefetch training at the barrier)."""
+    tiers = run_tiers(
+        workload=workload,
+        prefetcher=prefetcher,
+        instructions=instructions,
+        warmup=instructions // 5,
+        seed=seed,
+        chunk=chunk,
+    )
+    assert tiers["vectorized"] == tiers["compiled"] == tiers["generator"]
+
+
+class TestMissDenseStaysVectorized:
+    """Satellite of the batched-miss-path PR: the tier must no longer
+    demote on miss-dense workloads *and* must stay field-identical."""
+
+    @pytest.mark.parametrize("workload", ["zipf", "oscillate"])
+    @pytest.mark.parametrize("prefetcher", ["none", "bingo"])
+    def test_stress_matrix_stays_and_matches(self, workload, prefetcher):
+        before = engine_tier_counters()
+        tiers = run_tiers(
+            workload=workload,
+            prefetcher=prefetcher,
+            instructions=4000,
+            warmup=800,
+            with_generator=False,
+        )
+        after = engine_tier_counters()
+        assert tiers["vectorized"] == tiers["compiled"]
+        assert after["vectorized"] == before["vectorized"] + 1
+        assert after["demoted"] == before["demoted"], (
+            "vector tier demoted on a miss-dense stress workload — the "
+            "batched miss path should keep it resident"
+        )
+
+    def test_demotion_reasons_are_counted(self):
+        """Per-reason demotion counters: a forced stretch demotion must
+        land in ``demoted_stretch_probe`` and nowhere else."""
+        import repro.sim.vector.replay as replay_mod
+
+        system = small_system(num_cores=4)
+        params = SimulationParams(2000, 300)
+        compiled = compile_workload(
+            make_workload("zipf", seed=7, scale=SCALE), records_per_core=2000
+        )
+        probe, stretch = replay_mod.PROBE_BARRIERS, replay_mod.DEMOTE_STRETCH
+        replay_mod.PROBE_BARRIERS = 16
+        replay_mod.DEMOTE_STRETCH = 10**9
+        try:
+            before = engine_tier_counters()
+            SimulationEngine(
+                compiled, "bingo", system, params, vectorized=True
+            ).run()
+            after = engine_tier_counters()
+        finally:
+            replay_mod.PROBE_BARRIERS = probe
+            replay_mod.DEMOTE_STRETCH = stretch
+        assert after["demoted"] == before["demoted"] + 1
+        assert (
+            after["demoted_stretch_probe"]
+            == before["demoted_stretch_probe"] + 1
+        )
+        assert after["demoted_hazard"] == before["demoted_hazard"]
+        assert (
+            after["demoted_ineligible_policy"]
+            == before["demoted_ineligible_policy"]
+        )
 
 
 class TestEligibilityAndFallback:
