@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-replacement bench bench-quick bench-report bench-vector bench-misspath experiments serve-smoke experiment-smoke clean
+.PHONY: install test test-replacement bench bench-quick bench-report bench-vector bench-misspath experiments serve-smoke experiment-smoke cluster-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -55,6 +55,13 @@ serve-smoke:
 # assert two halving rounds promote screens to a full-length winner
 experiment-smoke:
 	PYTHONPATH=src $(PYTHON) tools/experiment_smoke.py
+
+# Black-box smoke of the multi-node cluster: frontend-only daemon +
+# two worker agents, saturate the queue (429 + Retry-After), SIGKILL
+# one worker mid-run, assert the sweep completes bit-identical to
+# in-process runs and both survivors drain cleanly
+cluster-smoke:
+	PYTHONPATH=src $(PYTHON) tools/cluster_smoke.py
 
 # Regenerate a single paper figure, e.g. `make fig8`
 table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10:

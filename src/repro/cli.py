@@ -220,8 +220,48 @@ def _build_parser() -> argparse.ArgumentParser:
                               "and restore it on the next start")
     serve_p.add_argument("--no-cache", action="store_true",
                          help="disable the shared on-disk result cache")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result cache root (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro); the "
+                              "cluster shard ring lives under it too")
+    serve_p.add_argument("--max-queue-depth", type=int, default=0,
+                         help="admission bound on pending jobs: beyond "
+                              "it POST /jobs answers 429 + Retry-After "
+                              "(0 = unbounded, the default)")
+    serve_p.add_argument("--lease-ttl", type=float, default=30.0,
+                         help="cluster lease lifetime in seconds; a "
+                              "worker silent this long loses its jobs "
+                              "to the reclaim path")
+    serve_p.add_argument("--no-steal", action="store_true",
+                         help="forbid idle workers from leasing out of "
+                              "the backoff-gated retry backlog")
     serve_p.add_argument("--quiet", action="store_true",
                          help="suppress startup/drain log lines")
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="run a cluster worker agent against a frontend daemon "
+             "(docs/service.md, §Cluster)",
+    )
+    worker_p.add_argument("--connect", required=True, metavar="URL",
+                          help="frontend base URL, e.g. "
+                               f"http://127.0.0.1:{DEFAULT_PORT}")
+    worker_p.add_argument("--node-id", default=None,
+                          help="stable node name (default: "
+                               "<host>-<pid>-<nonce>)")
+    worker_p.add_argument("--capacity", type=int, default=1,
+                          help="concurrent leases to execute (each its "
+                               "own process slot)")
+    worker_p.add_argument("--timeout", type=float, default=300.0,
+                          help="per-job wall-clock budget in seconds "
+                               "(0 disables)")
+    worker_p.add_argument("--no-cache", action="store_true",
+                          help="disable the node-local result cache tier")
+    worker_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="node-local result cache root (default: "
+                               "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    worker_p.add_argument("--quiet", action="store_true",
+                          help="suppress startup/stop log lines")
 
     default_url = f"http://127.0.0.1:{DEFAULT_PORT}"
     submit_p = sub.add_parser(
@@ -524,7 +564,10 @@ def _cmd_serve(args) -> int:
         job_timeout=args.timeout,
         retry=RetryPolicy(max_attempts=max(1, args.retries)),
         state_dir=args.state_dir,
-        cache_dir=None if args.no_cache else "",
+        cache_dir=None if args.no_cache else (args.cache_dir or ""),
+        max_queue_depth=max(0, args.max_queue_depth),
+        lease_ttl=args.lease_ttl,
+        steal=not args.no_steal,
     )
     run_server(
         config,
@@ -532,6 +575,24 @@ def _cmd_serve(args) -> int:
         port=args.port,
         verbose=not args.quiet,
     )
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.serve import ServiceUnavailable, WireVersionError, run_worker
+
+    try:
+        run_worker(
+            args.connect,
+            node_id=args.node_id,
+            capacity=max(1, args.capacity),
+            job_timeout=args.timeout,
+            cache_dir=None if args.no_cache else (args.cache_dir or ""),
+            verbose=not args.quiet,
+        )
+    except (WireVersionError, ServiceUnavailable, SystemExit) as exc:
+        print(f"error: worker stopped: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -734,6 +795,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_check(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "jobs":

@@ -13,14 +13,38 @@ within a batch.  On top of the job path,
 :mod:`repro.serve.orchestrate` runs adaptive *experiments*: submit a
 parameter space and a successive-halving schedule screens it with
 cheap short traces, promoting only the top fraction to full-length
-runs.  See ``docs/service.md``.
+runs.  :mod:`repro.serve.cluster` scales the whole thing past one box:
+remote worker agents lease jobs over the same HTTP protocol, the
+result cache shards across nodes on a consistent-hash ring, and the
+frontend applies queue-depth admission control.  See
+``docs/service.md``.
 """
 
 from repro.serve.api import DEFAULT_PORT, make_server, run_server
-from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    WireVersionError,
+)
+from repro.serve.cluster import (
+    AdmissionController,
+    AdmissionError,
+    ClusterCacheClient,
+    ClusterCoordinator,
+    HashRing,
+    NodeQuarantined,
+    ShardedResultCache,
+    TieredCache,
+    UnknownNodeError,
+    WorkerAgent,
+    run_worker,
+)
 from repro.serve.jobs import (
+    WIRE_VERSION,
     JobRecord,
     JobState,
+    WireVersionMismatch,
     job_from_wire,
     job_to_wire,
 )
@@ -46,29 +70,44 @@ from repro.serve.supervisor import CircuitBreaker, RetryPolicy, Supervisor
 
 __all__ = [
     "DEFAULT_PORT",
+    "WIRE_VERSION",
+    "AdmissionController",
+    "AdmissionError",
     "CircuitBreaker",
+    "ClusterCacheClient",
+    "ClusterCoordinator",
     "ExperimentOrchestrator",
     "ExperimentRecord",
     "ExperimentSpace",
     "ExperimentState",
     "HalvingSchedule",
+    "HashRing",
     "JobQueue",
     "JobRecord",
     "JobState",
     "LatencyHistogram",
+    "NodeQuarantined",
     "Objective",
     "QuarantinedError",
     "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceUnavailable",
+    "ShardedResultCache",
     "SimulationService",
     "Supervisor",
+    "TieredCache",
+    "UnknownNodeError",
+    "WireVersionError",
+    "WireVersionMismatch",
+    "WorkerAgent",
     "job_from_wire",
     "job_to_wire",
     "make_server",
     "objective_from_wire",
     "run_server",
+    "run_worker",
     "schedule_from_wire",
     "space_from_wire",
 ]

@@ -23,6 +23,27 @@ Routes (all JSON in, JSON out):
   round-by-round promotion reports, and the winner once done.
 * ``GET /experiments`` — newest-first experiment summaries (no rounds).
 
+Submissions are **admission controlled** when the service has a
+``max_queue_depth``: beyond it, ``POST /jobs`` and ``POST /experiments``
+answer 429 (``code: "backpressure"``) with a ``Retry-After`` header
+derived from the observed drain rate.  A ``wire_version`` mismatch in
+any job spec or cluster call answers 409 (``code: "wire-version"``).
+
+Cluster routes (worker agents only; see :mod:`repro.serve.cluster`):
+
+* ``POST /cluster/register`` — ``{"node", "capacity", "wire_version"}``;
+  returns lease/heartbeat parameters and whether the shard ring is on.
+* ``POST /cluster/lease`` — long-poll for a job lease (``{"node",
+  "wait"}``).  200 with ``{"lease": {...}}`` or ``{"lease": null}``;
+  404 ``code: "unknown-node"`` for unregistered peers (re-register);
+  429 when the per-node breaker has the worker quarantined.
+* ``POST /cluster/report`` — deliver a lease outcome (``{"node",
+  "lease", "job_id", "result" | "failure"}``); ``{"accepted": false}``
+  for stale leases (the job was reclaimed — not the worker's problem).
+* ``POST /cluster/heartbeat`` — renew liveness + held leases.
+* ``GET/PUT /cluster/cache/<digest>`` — the shard ring's remote
+  get/put (404 on miss; best-effort by design).
+
 The server is a ``ThreadingHTTPServer``: handler threads only touch the
 thread-safe service object, while simulations run in the service's own
 worker slots.  :func:`run_server` adds the process envelope — SIGTERM /
@@ -38,7 +59,12 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
-from repro.serve.jobs import job_from_wire
+from repro.serve.cluster.coordinator import (
+    AdmissionError,
+    NodeQuarantined,
+    UnknownNodeError,
+)
+from repro.serve.jobs import WIRE_VERSION, WireVersionMismatch, job_from_wire
 from repro.serve.orchestrate import (
     objective_from_wire,
     schedule_from_wire,
@@ -73,16 +99,38 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # the client went away mid-response (a worker shut down while
+            # its lease long-poll was being answered) — nothing to tell it
+            self.close_connection = True
 
-    def _error(self, status: int, message: str, **extra) -> None:
-        self._send_json(status, dict({"error": message}, **extra))
+    def _error(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+        **extra,
+    ) -> None:
+        self._send_json(status, dict({"error": message}, **extra), headers)
+
+    def _retry_after_headers(self, seconds: float) -> Dict[str, str]:
+        """HTTP Retry-After wants integer seconds; never advertise 0."""
+        return {"Retry-After": str(max(1, int(round(seconds))))}
 
     def _read_body(self) -> Optional[Dict[str, Any]]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -145,6 +193,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._error(404, f"no such experiment: {experiment_id}")
             else:
                 self._send_json(200, experiment.to_dict())
+        elif path.startswith("/cluster/cache/"):
+            self._get_cluster_cache(path[len("/cluster/cache/"):])
         else:
             self._error(404, f"no such route: {path}")
 
@@ -155,6 +205,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._post_jobs()
         elif path == "/experiments":
             self._post_experiments()
+        elif path == "/cluster/register":
+            self._post_cluster_register()
+        elif path == "/cluster/lease":
+            self._post_cluster_lease()
+        elif path == "/cluster/report":
+            self._post_cluster_report()
+        elif path == "/cluster/heartbeat":
+            self._post_cluster_heartbeat()
+        else:
+            self._error(404, f"no such route: {path}")
+
+    # -- PUT ----------------------------------------------------------------
+    def do_PUT(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path.startswith("/cluster/cache/"):
+            self._put_cluster_cache(path[len("/cluster/cache/"):])
         else:
             self._error(404, f"no such route: {path}")
 
@@ -179,6 +245,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
         try:
             jobs = [job_from_wire(spec) for spec in specs]
+        except WireVersionMismatch as exc:
+            self._error(409, str(exc), code="wire-version", ours=exc.ours)
+            return
         except (ValueError, TypeError) as exc:
             self._error(400, f"bad job spec: {exc}")
             return
@@ -199,7 +268,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._error(
                 429,
                 str(exc),
+                headers=self._retry_after_headers(exc.retry_after),
+                code="quarantined",
                 retry_after=round(exc.retry_after, 3),
+                accepted=accepted,
+            )
+            return
+        except AdmissionError as exc:
+            self._error(
+                429,
+                str(exc),
+                headers=self._retry_after_headers(exc.retry_after),
+                code="backpressure",
+                retry_after=round(exc.retry_after, 3),
+                queue_depth=exc.depth,
                 accepted=accepted,
             )
             return
@@ -236,6 +318,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (ValueError, TypeError) as exc:
             self._error(400, f"bad experiment spec: {exc}")
             return
+        except AdmissionError as exc:
+            self._error(
+                429,
+                str(exc),
+                headers=self._retry_after_headers(exc.retry_after),
+                code="backpressure",
+                retry_after=round(exc.retry_after, 3),
+                queue_depth=exc.depth,
+            )
+            return
         except RuntimeError as exc:  # draining
             self._error(503, str(exc))
             return
@@ -248,6 +340,138 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "rungs": record.schedule.rungs(),
             },
         )
+
+    # -- cluster ------------------------------------------------------------
+    def _cluster_payload(self) -> Optional[Dict[str, Any]]:
+        """Read + version-check a cluster call body; None = already
+        answered.  An absent ``wire_version`` is accepted (version 1 is
+        wire-compatible with the unversioned format); a *different* one
+        is a 409 — mixed-version clusters must fail fast and loudly."""
+        payload = self._read_body()
+        if payload is None:
+            return None
+        theirs = payload.get("wire_version", WIRE_VERSION)
+        if theirs != WIRE_VERSION:
+            self._error(
+                409,
+                str(WireVersionMismatch(theirs)),
+                code="wire-version",
+                ours=WIRE_VERSION,
+            )
+            return None
+        node = payload.get("node")
+        if not node or not isinstance(node, str):
+            self._error(400, "cluster calls need a 'node' id (string)")
+            return None
+        return payload
+
+    def _post_cluster_register(self) -> None:
+        payload = self._cluster_payload()
+        if payload is None:
+            return
+        capacity = payload.get("capacity", 1)
+        if not isinstance(capacity, int) or capacity < 1:
+            self._error(400, "'capacity' must be a positive integer")
+            return
+        info = self.service.cluster.register(payload["node"], capacity)
+        self._send_json(200, dict(info, wire_version=WIRE_VERSION))
+
+    def _post_cluster_lease(self) -> None:
+        payload = self._cluster_payload()
+        if payload is None:
+            return
+        try:
+            wait = float(payload.get("wait", 0.0))
+        except (TypeError, ValueError):
+            self._error(400, "'wait' must be a number")
+            return
+        try:
+            lease = self.service.cluster.lease(payload["node"], wait=wait)
+        except UnknownNodeError as exc:
+            self._error(404, str(exc), code="unknown-node")
+            return
+        except NodeQuarantined as exc:
+            self._error(
+                429,
+                str(exc),
+                headers=self._retry_after_headers(exc.retry_after),
+                code="node-quarantined",
+                retry_after=round(exc.retry_after, 3),
+            )
+            return
+        self._send_json(200, {"lease": lease})
+
+    def _post_cluster_report(self) -> None:
+        payload = self._cluster_payload()
+        if payload is None:
+            return
+        lease_id = payload.get("lease")
+        job_id = payload.get("job_id")
+        if not isinstance(lease_id, str) or not isinstance(job_id, str):
+            self._error(400, "report needs 'lease' and 'job_id' (strings)")
+            return
+        try:
+            accepted = self.service.cluster.report(
+                payload["node"],
+                lease_id,
+                job_id,
+                result=payload.get("result"),
+                failure=payload.get("failure"),
+            )
+        except UnknownNodeError as exc:
+            self._error(404, str(exc), code="unknown-node")
+            return
+        except (ValueError, TypeError) as exc:
+            self._error(400, f"bad report: {exc}")
+            return
+        self._send_json(200, {"accepted": accepted})
+
+    def _post_cluster_heartbeat(self) -> None:
+        payload = self._cluster_payload()
+        if payload is None:
+            return
+        leases = payload.get("leases", [])
+        if not isinstance(leases, list):
+            self._error(400, "'leases' must be an array of lease ids")
+            return
+        try:
+            inflight = int(payload.get("inflight", 0))
+        except (TypeError, ValueError):
+            self._error(400, "'inflight' must be an integer")
+            return
+        try:
+            renewed = self.service.cluster.heartbeat(
+                payload["node"], inflight=inflight,
+                leases=[str(lease) for lease in leases],
+            )
+        except UnknownNodeError as exc:
+            self._error(404, str(exc), code="unknown-node")
+            return
+        self._send_json(200, {"renewed": renewed})
+
+    def _get_cluster_cache(self, digest: str) -> None:
+        try:
+            entry = self.service.cluster.cache_get(digest)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        if entry is None:
+            self._error(404, f"cache miss for {digest[:12]}", code="miss")
+            return
+        self._send_json(200, {"digest": digest, "result": entry})
+
+    def _put_cluster_cache(self, digest: str) -> None:
+        payload = self._read_body()
+        if payload is None:
+            return
+        try:
+            stored = self.service.cluster.cache_put(
+                digest, payload.get("result")
+            )
+        except (ValueError, TypeError) as exc:
+            self._error(400, str(exc))
+            return
+        self._send_json(200, {"stored": stored})
 
 
 def make_server(

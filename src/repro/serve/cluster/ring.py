@@ -1,0 +1,125 @@
+"""A consistent-hash ring for sharding digests across nodes.
+
+The shard assignment must be *stable*: adding a node may only move the
+keys that now belong to it, and removing a node may only move the keys
+it owned — everything else keeps its shard, so a cluster growing from
+2 to 3 cache nodes invalidates ~1/3 of placements instead of all of
+them.  The classic construction: each node contributes
+:data:`REPLICAS` virtual points on a 64-bit circle (hashed from
+``"<node>#<replica>"``), and a digest is owned by the first point
+clockwise from its own hash.
+
+Hashing is SHA-256-derived, like every other stable identity in this
+codebase — ``hash()`` would be salted per process and ``zlib.crc32``
+clusters badly on sequential replica suffixes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Optional, Tuple
+
+#: virtual points per node; 64 keeps the max/min shard-load ratio of a
+#: small cluster near 1.2x without making membership changes expensive
+REPLICAS = 64
+
+
+def ring_hash(key: str) -> int:
+    """A stable 64-bit position on the ring for ``key``."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Stable digest -> node assignment with virtual nodes.
+
+    Not thread-safe on its own; the owning
+    :class:`~repro.serve.cluster.shard.ShardedResultCache` serialises
+    membership changes and lookups under one lock.
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), replicas: int = REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        #: sorted virtual points; parallel lists so bisect works on
+        #: the positions alone
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ---------------------------------------------------------
+    def add(self, node: str) -> bool:
+        """Add ``node``; returns False when it was already present."""
+        if not node:
+            raise ValueError("node id must be a non-empty string")
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = ring_hash(f"{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Remove ``node``; returns False when it was not a member."""
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+        return True
+
+    # -- lookup -------------------------------------------------------------
+    def owner(self, digest: str) -> Optional[str]:
+        """The node owning ``digest``, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect(self._points, ring_hash(digest))
+        if index == len(self._points):  # wrap past the last point
+            index = 0
+        return self._owners[index]
+
+    def owners(self, digest: str, count: int) -> List[str]:
+        """Up to ``count`` *distinct* nodes clockwise from ``digest``.
+
+        The first entry is :meth:`owner`; the rest are the natural
+        fallback/replication targets.
+        """
+        if not self._points or count < 1:
+            return []
+        start = bisect.bisect(self._points, ring_hash(digest))
+        found: List[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in found:
+                found.append(owner)
+                if len(found) == count:
+                    break
+        return found
+
+    # -- introspection ------------------------------------------------------
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def points(self) -> List[Tuple[int, str]]:
+        """The virtual points, sorted — exposed for tests and metrics."""
+        return list(zip(self._points, self._owners))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes

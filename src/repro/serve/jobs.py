@@ -28,6 +28,25 @@ from repro.obs.config import ObservabilityConfig
 from repro.sim.executor import SimJob
 from repro.sim.results import SimResult
 
+#: version of the job/lease JSON wire format.  Bump on any change that
+#: an older peer would misinterpret (renamed fields, changed units, new
+#: required keys).  Mismatched peers are rejected with a 409 at the API
+#: layer — a mixed-version cluster must fail fast and loudly, not
+#: corrupt results quietly.
+WIRE_VERSION = 1
+
+
+class WireVersionMismatch(ValueError):
+    """A peer speaks a different job/lease wire format version."""
+
+    def __init__(self, theirs: Any) -> None:
+        self.theirs = theirs
+        self.ours = WIRE_VERSION
+        super().__init__(
+            f"wire version mismatch: peer speaks {theirs!r}, "
+            f"this node speaks {WIRE_VERSION}; upgrade the older side"
+        )
+
 
 class JobState(str, Enum):
     """Service-side lifecycle of a submitted job."""
@@ -150,6 +169,7 @@ def _dataclass_from_dict(cls, data: Dict[str, Any]):
 def job_to_wire(job: SimJob) -> Dict[str, Any]:
     """A ``SimJob`` as the POST/persistence JSON object."""
     return {
+        "wire_version": WIRE_VERSION,
         "workload": job.workload,
         "prefetcher": job.prefetcher,
         "prefetcher_kwargs": dict(job.prefetcher_kwargs),
@@ -179,13 +199,18 @@ def job_from_wire(payload: Dict[str, Any]) -> SimJob:
         raise ValueError(f"job spec must be an object, got {type(payload).__name__}")
     payload = dict(payload)
     known = {
-        "workload", "prefetcher", "prefetcher_kwargs", "instructions",
-        "warmup", "seed", "scale", "train_at", "compile", "replacement",
-        "system", "obs",
+        "wire_version", "workload", "prefetcher", "prefetcher_kwargs",
+        "instructions", "warmup", "seed", "scale", "train_at", "compile",
+        "replacement", "system", "obs",
     }
     unknown = set(payload) - known
     if unknown:
         raise ValueError(f"unknown job field(s): {sorted(unknown)}")
+    # absent = a pre-versioning peer (or a hand-written spec): accepted,
+    # since version 1 is wire-compatible with the unversioned format
+    theirs = payload.get("wire_version", WIRE_VERSION)
+    if theirs != WIRE_VERSION:
+        raise WireVersionMismatch(theirs)
     workload = payload.get("workload")
     if not workload or not isinstance(workload, str):
         raise ValueError("job spec needs a 'workload' name")

@@ -611,6 +611,7 @@ class ExperimentOrchestrator:
         JSON-ready round summary (without ``promoted``, which the
         caller fills in).
         """
+        from repro.serve.cluster.coordinator import AdmissionError
         from repro.serve.service import QuarantinedError
 
         job_records: Dict[int, Optional[JobRecord]] = {}
@@ -621,13 +622,27 @@ class ExperimentOrchestrator:
                 else full_jobs[index].with_instructions(budget)
             )
             try:
-                job_record, deduped = self._service.submit(
-                    job, priority=record.priority
-                )
+                while True:
+                    try:
+                        job_record, deduped = self._service.submit(
+                            job, priority=record.priority
+                        )
+                        break
+                    except AdmissionError as exc:
+                        # backpressure: an admitted experiment paces its
+                        # rungs instead of dying mid-flight
+                        if self._stopping.is_set():
+                            raise OrchestrationError(
+                                "orchestrator stopped (draining)"
+                            ) from None
+                        self._count("rung_backpressure_waits")
+                        time.sleep(min(exc.retry_after, 2.0))
             except QuarantinedError:
                 job_records[index] = None
                 self._count("points_quarantined")
                 continue
+            except OrchestrationError:
+                raise
             except RuntimeError as exc:  # queue closed: draining
                 raise OrchestrationError(f"submission refused: {exc}") from None
             job_records[index] = job_record

@@ -189,6 +189,40 @@ class JobQueue:
             break
         return found, nearest
 
+    def steal(
+        self, skip: Optional[Callable[[JobRecord], bool]] = None
+    ) -> Optional[JobRecord]:
+        """Take the soonest-due record out of the backoff backlog early.
+
+        The cluster's work-stealing hook: a retry delay exists to
+        protect the resource that just failed the job (and to pace the
+        spec's retry budget), not to idle a healthy peer — so an idle
+        node that finds the ready heap empty may run a gated record
+        *now*.  ``skip`` vetoes records the caller must not take (e.g.
+        "this record's last lease was on me").  Returns ``None`` when
+        nothing stealable is gated.
+        """
+        with self._ready:
+            deferred: List[Tuple[float, int, int, str]] = []
+            found: Optional[JobRecord] = None
+            while self._gated:
+                entry = heapq.heappop(self._gated)
+                record = self._records.get(entry[3])
+                if record is None or record.state is not JobState.PENDING:
+                    continue  # stale entry; drop
+                if skip is not None and skip(record):
+                    deferred.append(entry)
+                    continue
+                found = record
+                break
+            for entry in deferred:
+                heapq.heappush(self._gated, entry)
+            if found is not None:
+                found.state = JobState.RUNNING
+                found.attempts += 1
+                found.not_before = 0.0
+            return found
+
     # -- completion bookkeeping --------------------------------------------
     def finish(self, record: JobRecord) -> None:
         """Mark terminal state reached; clears the dedup slot."""
@@ -201,6 +235,21 @@ class JobQueue:
     def get(self, job_id: str) -> Optional[JobRecord]:
         with self._lock:
             return self._records.get(job_id)
+
+    def in_flight_id(self, digest: str) -> Optional[str]:
+        """The id a submission of ``digest`` would dedup onto, if any.
+
+        Admission control uses this to let dedup hits through a full
+        queue — they add no work, so rejecting them only hurts.
+        """
+        with self._lock:
+            job_id = self._in_flight.get(digest)
+            if job_id is None:
+                return None
+            record = self._records.get(job_id)
+            if record is not None and record.state.in_flight:
+                return job_id
+            return None
 
     def records(self) -> List[JobRecord]:
         """All records, newest submission first."""
@@ -238,13 +287,24 @@ class JobQueue:
         """Write every non-terminal record to ``path`` (atomic); returns
         the count.  Running records are persisted too — if the drain
         timed out on a wedged job, restarting it is the correct recovery
-        (results are pure functions of the spec)."""
+        (results are pure functions of the spec).
+
+        Backoff gating survives the restart: ``not_before`` is a
+        monotonic-clock instant, meaningless to the next process, so
+        each record persists the *remaining* delay instead and
+        :meth:`restore` re-derives the instant against its own clock.
+        """
         with self._lock:
-            survivors = [
-                record.to_dict(include_result=False)
-                for record in self._records.values()
-                if not record.state.terminal
-            ]
+            now = self._clock()
+            survivors = []
+            for record in self._records.values():
+                if record.state.terminal:
+                    continue
+                data = record.to_dict(include_result=False)
+                data["backoff_remaining"] = round(
+                    max(0.0, record.not_before - now), 6
+                )
+                survivors.append(data)
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": QUEUE_SCHEMA, "jobs": survivors}
@@ -299,10 +359,16 @@ class JobQueue:
         for data in payload.get("jobs", []):
             try:
                 record = JobRecord.from_dict(data)
+                remaining = float(data.get("backoff_remaining", 0.0) or 0.0)
             except (ValueError, KeyError, TypeError):
                 continue  # one bad record must not sink the rest
             record.state = JobState.PENDING
-            record.not_before = 0.0
+            # re-derive the gate against *this* process's clock; submit
+            # places it in the ready heap and the next scan re-gates it
+            # (the same out-of-band path requeue-while-queued uses)
+            record.not_before = (
+                self._clock() + remaining if remaining > 0 else 0.0
+            )
             try:
                 self.submit(record)
             except RuntimeError:  # closed mid-restore

@@ -33,8 +33,19 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.stats import StatGroup
 from repro.sim.engine import engine_tier_counters
-from repro.sim.executor import Executor, JobFailure, ResultCache, SimJob
+from repro.sim.executor import (
+    Executor,
+    JobFailure,
+    ResultCache,
+    SimJob,
+    default_cache_dir,
+)
 from repro.sim.results import SimResult
+from repro.serve.cluster.coordinator import (
+    AdmissionController,
+    AdmissionError,
+    ClusterCoordinator,
+)
 from repro.serve.jobs import JobRecord, JobState
 from repro.serve.metrics import LatencyHistogram
 from repro.serve.orchestrate import (
@@ -62,7 +73,12 @@ class QuarantinedError(RuntimeError):
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Everything a daemon start needs, in one picklable value."""
+    """Everything a daemon start needs, in one picklable value.
+
+    ``workers=0`` runs a *frontend-only* node: no local executor slots,
+    all execution delegated to cluster worker agents (the queue, the
+    supervisor, and the HTTP surface behave identically either way).
+    """
 
     workers: int = 2
     #: per-job wall-clock budget in seconds; 0 disables the timeout
@@ -74,12 +90,25 @@ class ServiceConfig:
     state_dir: Optional[str] = None
     #: share the on-disk result cache (None = no result cache)
     cache_dir: Optional[str] = ""  # "" means default_cache_dir()
+    #: admission bound on pending queue depth; 0 = unbounded (the
+    #: single-node default — behaviour is then exactly the pre-cluster
+    #: service)
+    max_queue_depth: int = 0
+    #: how long a cluster lease lives between heartbeats before its job
+    #: is reclaimed from the (presumed dead) worker
+    lease_ttl: float = 30.0
+    #: heartbeat cadence advertised to registering workers
+    heartbeat_interval: float = 5.0
+    #: may idle workers lease from the backoff-gated backlog?
+    steal: bool = True
 
     def __post_init__(self) -> None:
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.job_timeout < 0:
             raise ValueError(f"job_timeout must be >= 0, got {self.job_timeout}")
+        if self.lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {self.lease_ttl}")
 
 
 class SimulationService:
@@ -129,6 +158,29 @@ class SimulationService:
         #: adaptive experiments driver (successive halving over a space);
         #: shares this service's queue, caches, breaker, and metrics tree
         self.orchestrator = ExperimentOrchestrator(self)
+        #: queue-depth backpressure on POST /jobs + /experiments
+        self.admission = AdmissionController(
+            max_depth=self.config.max_queue_depth, clock=clock
+        )
+        #: the multi-node tier: node registry, leases, shard ring.  The
+        #: shard stores materialise under the result-cache root; a
+        #: cache-less service runs the cluster without the shard ring.
+        if self.config.cache_dir is None:
+            cluster_root = None
+        elif self.config.cache_dir == "":
+            cluster_root = default_cache_dir() / "cluster"
+        else:
+            cluster_root = Path(self.config.cache_dir) / "cluster"
+        self.cluster = ClusterCoordinator(
+            self,
+            lease_ttl=self.config.lease_ttl,
+            heartbeat_interval=self.config.heartbeat_interval,
+            steal=self.config.steal,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_cooldown=self.config.breaker_cooldown,
+            cache_root=cluster_root,
+            clock=clock,
+        )
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "SimulationService":
@@ -148,6 +200,11 @@ class SimulationService:
             )
             thread.start()
             self._threads.append(thread)
+        reaper = threading.Thread(
+            target=self._reaper_loop, name="serve-lease-reaper", daemon=True
+        )
+        reaper.start()
+        self._threads.append(reaper)
         return self
 
     @property
@@ -194,7 +251,8 @@ class SimulationService:
         """Queue a job; returns ``(record, deduped)``.
 
         Raises :class:`QuarantinedError` when the breaker is open for
-        this spec and ``RuntimeError`` when the service is draining.
+        this spec, :class:`AdmissionError` when the queue is beyond its
+        depth bound, and ``RuntimeError`` when the service is draining.
         """
         record = JobRecord(job=job, priority=priority)
         with self._metrics_lock:
@@ -204,6 +262,16 @@ class SimulationService:
                     record.digest,
                     self.supervisor.breaker.retry_after(record.digest),
                 )
+        # dedup hits bypass admission: they add no work, so bouncing
+        # them off a full queue would only hurt (benign TOCTOU — an
+        # in-flight record finishing between here and submit just means
+        # one extra admitted job)
+        if self.queue.in_flight_id(record.digest) is None:
+            depth = self.queue.depth()
+            retry_after = self.admission.check(depth)
+            if retry_after is not None:
+                self._count("rejected_admission")
+                raise AdmissionError(depth, retry_after)
         record, deduped = self.queue.submit(record)
         self._count("submitted")
         if deduped:
@@ -238,12 +306,30 @@ class SimulationService:
     def _run_record(self, executor: Executor, record: JobRecord) -> None:
         started = self._clock()
         record.started_at = time.time()
-        self._queue_wait_observe(record)
+        self.observe_dispatch(record)
         timeout = self.config.job_timeout or None
         outcome = executor.run_job_guarded(record.job, timeout=timeout)
         with self._metrics_lock:
             self._run_latency.observe(self._clock() - started)
+        self.resolve_outcome(record, outcome)
 
+    def resolve_outcome(
+        self,
+        record: JobRecord,
+        outcome,
+        source: str = "local",
+    ) -> str:
+        """Book a running record's outcome; returns the resulting state
+        (``"done"`` / ``"retry"`` / ``"failed"``).
+
+        The single terminal-bookkeeping path for *every* execution site —
+        local worker slots, cluster reports, and lease-expiry reclaims
+        all land here — so supervisor policy (retry budget, backoff,
+        per-digest breaker), dedup release, admission drain accounting,
+        and counters cannot diverge between single-node and cluster
+        runs.  ``source`` names where the outcome came from (a node id,
+        or ``"local"``) for the failure record.
+        """
         if isinstance(outcome, SimResult):
             record.result = outcome
             record.error = None
@@ -253,7 +339,8 @@ class SimulationService:
                 self.supervisor.on_success(record)
             self.queue.finish(record)
             self._count("completed")
-            return
+            self.admission.on_completion()
+            return "done"
 
         failure: JobFailure = outcome
         self._count(f"failures_{failure.kind.replace('-', '_')}")
@@ -265,17 +352,39 @@ class SimulationService:
             record.error = failure.to_dict()  # visible while it waits
             self.queue.requeue(record, delay)
             self._count("retries")
-            return
+            return "retry"
         record.state = JobState.FAILED
         record.finished_at = time.time()
-        record.error = dict(failure.to_dict(), attempts=record.attempts)
+        error = dict(failure.to_dict(), attempts=record.attempts)
+        if source != "local":
+            error["node"] = source
+        record.error = error
         self.queue.finish(record)
         self._count("failed")
+        self.admission.on_completion()
+        return "failed"
 
-    def _queue_wait_observe(self, record: JobRecord) -> None:
+    def observe_dispatch(self, record: JobRecord) -> None:
+        """Record the queue-wait of a record leaving the queue (local
+        pop or cluster lease grant)."""
         waited = time.time() - record.submitted_at
         with self._metrics_lock:
             self._queue_wait.observe(waited)
+
+    def observe_run_latency(self, seconds: float) -> None:
+        """Feed the run-latency histogram from a remote execution."""
+        with self._metrics_lock:
+            self._run_latency.observe(max(0.0, seconds))
+
+    def _reaper_loop(self) -> None:
+        """Periodically reclaim expired cluster leases, bounding reclaim
+        latency even when no cluster call arrives to do it lazily."""
+        interval = max(0.25, min(self.config.lease_ttl / 4.0, 5.0))
+        while not self._stopping.wait(interval):
+            try:
+                self.cluster.reap()
+            except Exception:  # pragma: no cover - defensive
+                self._count("internal_errors")
 
     def _count(self, counter: str, amount: int = 1) -> None:
         with self._metrics_lock:
@@ -293,8 +402,18 @@ class SimulationService:
 
         See :mod:`repro.serve.orchestrate` — rounds of screens promote
         the top fraction to full length via successive halving, all
-        through this service's ordinary job path.
+        through this service's ordinary job path.  Raises
+        :class:`AdmissionError` when the queue is over its depth bound —
+        an experiment is a large batch of future submissions, so a
+        saturated frontend refuses the whole space up front (admitted
+        experiments then *pace* their rungs against the same bound
+        instead of failing).
         """
+        depth = self.queue.depth()
+        retry_after = self.admission.check(depth)
+        if retry_after is not None:
+            self._count("rejected_admission")
+            raise AdmissionError(depth, retry_after)
         return self.orchestrator.submit(
             space, schedule=schedule, objective=objective, priority=priority
         )
@@ -315,6 +434,7 @@ class SimulationService:
             "ok": True,
             "state": "draining" if self.draining else "running",
             "workers": self.config.workers,
+            "cluster_workers": self.cluster.alive_count(),
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "queue_depth": counts.get("pending", 0),
             "in_flight": counts.get("running", 0),
@@ -344,5 +464,12 @@ class SimulationService:
             # which engine tier answered in-process runs, with demotions
             # broken down by reason (see repro.sim.engine._TIER_RUNS)
             "engine_tiers": engine_tier_counters(),
+            # the multi-node tier: per-node gauges, shard ring, steals
+            "cluster": self.cluster.snapshot(),
+            "admission": {
+                "max_depth": self.admission.max_depth,
+                "drain_rate": round(self.admission.drain_rate(), 6),
+                "rejected": self.admission.rejected,
+            },
             "counters": tree,
         }

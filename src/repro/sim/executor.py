@@ -641,8 +641,14 @@ class Executor:
                 raise BatchFailure(failures)
         return results  # type: ignore[return-value]
 
+    #: sentinel distinguishing "no cache override" from "override with None"
+    _CACHE_DEFAULT = object()
+
     def run_job_guarded(
-        self, job: SimJob, timeout: Optional[float] = None
+        self,
+        job: SimJob,
+        timeout: Optional[float] = None,
+        cache=_CACHE_DEFAULT,
     ) -> Union[SimResult, JobFailure]:
         """Run one job under the full robustness envelope; never raises.
 
@@ -657,15 +663,24 @@ class Executor:
         locks.  When the platform has no multiprocessing start method the
         job runs in-process: crashes then take the whole process (nothing
         to isolate) and the timeout cannot be enforced.
+
+        ``cache`` overrides the executor's own cache for this one call —
+        anything with ``ResultCache``'s ``load``/``store`` shape works
+        (``None`` disables caching for the call).  Cluster worker agents
+        pass a lease-scoped :class:`~repro.serve.cluster.shard.TieredCache`
+        here so a single executor can serve leases whose cache topology
+        depends on the frontend that granted them.
         """
+        if cache is Executor._CACHE_DEFAULT:
+            cache = self.cache
         self.stats.add("jobs")
-        if self.cache is not None and not self.check and job.cacheable:
-            hit = self.cache.load(job)
+        if cache is not None and not self.check and job.cacheable:
+            hit = cache.load(job)
             if hit is not None:
                 self.stats.add("cache_hits")
                 return hit
             self.stats.add("cache_misses")
-        elif self.cache is not None:
+        elif cache is not None:
             self.stats.add("cache_skipped")
 
         runner = execute_job_checked if self.check else execute_job
@@ -688,8 +703,8 @@ class Executor:
                 self.stats.add("worker_crashes")
             elif result.kind == "timeout":
                 self.stats.add("timeouts")
-        elif self.cache is not None and job.cacheable and not self.check:
-            self.cache.store(job, result)
+        elif cache is not None and job.cacheable and not self.check:
+            cache.store(job, result)
         return result
 
     def _run_guarded_in_pool(

@@ -151,3 +151,161 @@ class TestPollBackoff:
         record = client.wait_experiment("e1", timeout=100.0)
         assert record["state"] == "done"
         assert len(fake_time.sleeps) == 2
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestServiceUnavailable:
+    """Satellite: construction-time connection errors must surface as a
+    typed error, never a raw ``URLError`` traceback."""
+
+    def test_unreachable_daemon_raises_typed_error(self):
+        from repro.serve import ServiceUnavailable
+
+        client = ServiceClient(f"http://127.0.0.1:{_free_port()}", timeout=1.0)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.health()
+        err = excinfo.value
+        assert err.status == 503
+        assert err.attempts == 1  # no connect_wait -> no silent retries
+        assert isinstance(err.cause, BaseException)
+        assert "unreachable" in str(err)
+
+    def test_unavailable_is_a_service_error(self):
+        """Existing ``except (ServiceError, OSError)`` CLI call sites
+        must keep catching connection failures."""
+        from repro.serve import ServiceUnavailable
+
+        assert issubclass(ServiceUnavailable, ServiceError)
+
+    def test_connect_wait_absorbs_startup_race(self):
+        """A daemon that binds its socket ~0.3s after the client starts
+        probing must be reached within the connect_wait budget."""
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        class HealthHandler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802
+                body = b'{"ok": true}'
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+        port = _free_port()
+        server_box = {}
+
+        def bind_late():
+            time.sleep(0.3)
+            server = HTTPServer(("127.0.0.1", port), HealthHandler)
+            server_box["server"] = server
+            server.serve_forever()
+
+        import time
+
+        thread = threading.Thread(target=bind_late, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient.connect(
+                f"http://127.0.0.1:{port}", timeout=2.0, wait=10.0
+            )
+            assert client.health()["ok"] is True
+        finally:
+            server = server_box.get("server")
+            if server is not None:
+                server.shutdown()
+                server.server_close()
+            thread.join(5.0)
+
+    def test_connect_gives_up_after_wait(self):
+        from repro.serve import ServiceUnavailable
+
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            ServiceClient.connect(
+                f"http://127.0.0.1:{_free_port()}", timeout=0.5, wait=0.3
+            )
+        assert excinfo.value.attempts > 1  # it really did retry
+
+    def test_post_connection_errors_surface_immediately(self):
+        """connect_wait covers the *startup* race only: once the daemon
+        has answered, a later outage must not stall behind retries."""
+        client = ServiceClient(
+            f"http://127.0.0.1:{_free_port()}", timeout=0.5, connect_wait=30.0
+        )
+        client._connected = True  # as if a prior request succeeded
+        from repro.serve import ServiceUnavailable
+
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.health()
+        assert excinfo.value.attempts == 1
+
+
+class TestBackpressureRetry:
+    """Submissions honor 429 ``backpressure`` bodies with jittered
+    sleeps; other 4xx propagate untouched."""
+
+    def _client_with_responses(self, monkeypatch, responses, sleeps):
+        client = ServiceClient("http://stub", backpressure_retries=6)
+        calls = iter(responses)
+
+        def fake_request(method, path, payload=None, timeout=None):
+            outcome = next(calls)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client, "_request", fake_request)
+        monkeypatch.setattr(
+            client_mod.time, "sleep", lambda s: sleeps.append(s)
+        )
+        return client
+
+    def _backpressure(self, retry_after=0.25):
+        return ServiceError(
+            429,
+            "backpressure",
+            {"code": "backpressure", "retry_after": retry_after},
+        )
+
+    def test_retries_then_succeeds(self, monkeypatch):
+        sleeps = []
+        client = self._client_with_responses(
+            monkeypatch,
+            [self._backpressure(), self._backpressure(), {"jobs": [{"id": "j1"}]}],
+            sleeps,
+        )
+        assert client.submit({"workload": "streaming"})["id"] == "j1"
+        assert len(sleeps) == 2
+        for slept in sleeps:
+            assert 0.25 <= slept <= 0.25 * 1.25  # retry_after + jitter
+
+    def test_retry_budget_exhausts(self, monkeypatch):
+        sleeps = []
+        client = self._client_with_responses(
+            monkeypatch, [self._backpressure()] * 10, sleeps
+        )
+        client.backpressure_retries = 2
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"workload": "streaming"})
+        assert excinfo.value.status == 429
+        assert len(sleeps) == 2
+
+    def test_quarantine_429_is_not_retried(self, monkeypatch):
+        sleeps = []
+        client = self._client_with_responses(
+            monkeypatch,
+            [ServiceError(429, "quarantined", {"code": "quarantined"})],
+            sleeps,
+        )
+        with pytest.raises(ServiceError):
+            client.submit({"workload": "streaming"})
+        assert sleeps == []

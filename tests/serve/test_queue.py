@@ -292,3 +292,137 @@ class TestGatedBacklogScaling:
         promoted = queue.pop(timeout=0)
         assert promoted is not None
         assert promoted.attempts == 2
+
+
+class TestWorkStealing:
+    def test_steal_takes_soonest_due_gated_record(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        late, _ = queue.submit(record(seed=1))
+        soon, _ = queue.submit(record(seed=2))
+        queue.pop(timeout=0)
+        queue.pop(timeout=0)
+        queue.requeue(late, delay=60.0)
+        queue.requeue(soon, delay=10.0)
+        stolen = queue.steal()
+        assert stolen is soon
+        assert stolen.state is JobState.RUNNING
+        assert stolen.attempts == 2
+        assert stolen.not_before == 0.0
+
+    def test_steal_honors_skip_and_keeps_skipped_gated(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        mine, _ = queue.submit(record(seed=1))
+        queue.pop(timeout=0)
+        queue.requeue(mine, delay=10.0)
+        assert queue.steal(skip=lambda r: r.id == mine.id) is None
+        # the skipped entry went back into the gated heap intact
+        clock.advance(10.1)
+        assert queue.pop(timeout=0) is mine
+
+    def test_steal_ignores_ready_and_empty(self):
+        queue = JobQueue()
+        queue.submit(record(seed=1))
+        # ready (ungated) work is pop's business, not steal's
+        assert queue.steal() is None
+        queue.pop(timeout=0)
+        assert queue.steal() is None
+
+
+class TestPersistenceRoundTrips:
+    """Satellite coverage: drains in every interesting queue state must
+    restore to an equivalent queue — priorities, dedup identity, and
+    backoff gating all survive the process boundary."""
+
+    def test_priority_order_survives_restore(self, tmp_path):
+        queue = JobQueue()
+        order_in = [(1, 0), (2, 50), (3, 10), (4, 50)]
+        for seed, priority in order_in:
+            queue.submit(record(seed=seed, priority=priority))
+        path = tmp_path / "queue.json"
+        assert queue.persist(path) == 4
+
+        fresh = JobQueue()
+        assert fresh.restore(path) == 4
+        popped = [fresh.pop(timeout=0) for _ in range(4)]
+        priorities = [r.priority for r in popped]
+        assert priorities == [50, 50, 10, 0]
+        # equal priorities keep their original submission order
+        assert [r.digest for r in popped[:2]] == [
+            record(seed=2).digest,
+            record(seed=4).digest,
+        ]
+
+    def test_resubmission_dedups_onto_restored_record(self, tmp_path):
+        queue = JobQueue()
+        original, _ = queue.submit(record(seed=5))
+        path = tmp_path / "queue.json"
+        queue.persist(path)
+
+        fresh = JobQueue()
+        fresh.restore(path)
+        twin, deduped = fresh.submit(record(seed=5))
+        assert deduped
+        assert twin.id == original.id
+        assert fresh.pop(timeout=0) is twin
+        assert fresh.pop(timeout=0) is None
+
+    def test_backoff_gate_survives_restore_across_clock_epochs(self, tmp_path):
+        """``not_before`` is a monotonic instant, meaningless to the
+        next process: the drain file carries the *remaining* delay and
+        restore re-derives the gate against its own clock — even one
+        with a wildly different epoch."""
+        old_clock = FakeClock(now=1_000_000.0)
+        queue = JobQueue(clock=old_clock)
+        rec, _ = queue.submit(record(seed=6))
+        queue.pop(timeout=0)
+        queue.requeue(rec, delay=30.0)
+        old_clock.advance(10.0)  # 20s of the delay still to serve
+        path = tmp_path / "queue.json"
+        assert queue.persist(path) == 1
+        import json
+
+        saved = json.loads(path.read_text(encoding="utf-8"))
+        assert saved["jobs"][0]["backoff_remaining"] == pytest.approx(20.0)
+
+        new_clock = FakeClock(now=5.0)  # restarted process, tiny epoch
+        fresh = JobQueue(clock=new_clock)
+        assert fresh.restore(path) == 1
+        assert fresh.pop(timeout=0) is None, "gate must still hold"
+        new_clock.advance(19.0)
+        assert fresh.pop(timeout=0) is None
+        new_clock.advance(1.1)
+        restored = fresh.pop(timeout=0)
+        assert restored is not None
+        assert restored.digest == rec.digest
+
+    def test_expired_backoff_restores_ready(self, tmp_path):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        rec, _ = queue.submit(record(seed=7))
+        queue.pop(timeout=0)
+        queue.requeue(rec, delay=5.0)
+        clock.advance(60.0)  # delay fully served before the drain
+        path = tmp_path / "queue.json"
+        queue.persist(path)
+
+        fresh = JobQueue(clock=FakeClock())
+        assert fresh.restore(path) == 1
+        assert fresh.pop(timeout=0) is not None, "no phantom gate"
+
+    def test_restored_gated_record_is_stealable(self, tmp_path):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        rec, _ = queue.submit(record(seed=8))
+        queue.pop(timeout=0)
+        queue.requeue(rec, delay=30.0)
+        path = tmp_path / "queue.json"
+        queue.persist(path)
+
+        fresh = JobQueue(clock=FakeClock())
+        fresh.restore(path)
+        assert fresh.pop(timeout=0) is None  # still gated...
+        stolen = fresh.steal()  # ...but an idle peer may take it
+        assert stolen is not None
+        assert stolen.digest == rec.digest

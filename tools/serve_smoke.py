@@ -44,20 +44,6 @@ def free_port() -> int:
         return sock.getsockname()[1]
 
 
-def wait_healthy(client: ServiceClient) -> None:
-    deadline = time.monotonic() + HEALTH_DEADLINE
-    while time.monotonic() < deadline:
-        try:
-            health = client.health()
-        except OSError:
-            time.sleep(0.1)
-            continue
-        if health.get("ok"):
-            return
-        time.sleep(0.1)
-    raise SystemExit("FAIL: daemon never became healthy")
-
-
 def main() -> int:
     port = free_port()
     spec = {
@@ -91,8 +77,13 @@ def main() -> int:
             cwd=REPO_ROOT,
         )
         try:
-            client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0)
-            wait_healthy(client)
+            # connect() proves liveness: it retries the startup race with
+            # bounded backoff and raises typed ServiceUnavailable if the
+            # daemon never binds — no hand-rolled polling loop needed
+            client = ServiceClient.connect(
+                f"http://127.0.0.1:{port}", timeout=10.0,
+                wait=HEALTH_DEADLINE,
+            )
             print(f"ok: daemon healthy on port {port}")
 
             accepted = client.submit(spec)
